@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -experiment all            # everything, paper order
+//	experiments -experiment fig9           # one table/figure
+//	experiments -experiment fig6 -n 500000 # shorter runs
+//	experiments -experiment fig4 -csv      # machine-readable output
+//
+// Runs are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nurapid/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1-table4, fig4-fig11, lru, or all")
+		n          = flag.Int64("n", 2_000_000, "instructions to simulate per application")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	r := sim.NewRunner(*n, *seed)
+	if !*quiet {
+		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var exps []*sim.Experiment
+	if *experiment == "all" {
+		exps = r.All()
+	} else {
+		e, err := r.ByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []*sim.Experiment{e}
+	}
+
+	for _, e := range exps {
+		fmt.Println()
+		var err error
+		if *csv {
+			err = e.Table.WriteCSV(os.Stdout)
+		} else {
+			err = e.Table.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if e.Chart != nil && !*csv {
+			fmt.Println()
+			if err := e.Chart.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if len(e.Metrics) > 0 {
+			fmt.Println("headline metrics:")
+			keys := make([]string, 0, len(e.Metrics))
+			for k := range e.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-32s %.4f\n", k, e.Metrics[k])
+			}
+		}
+	}
+}

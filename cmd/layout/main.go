@@ -1,0 +1,92 @@
+// Command layout inspects the physical models behind the simulators: the
+// L-shaped NuRAPID floorplan, the D-NUCA bank grid, and the calibrated
+// latency/energy tables they produce (the paper's Tables 2 and 4).
+//
+// Usage:
+//
+//	layout                 # NuRAPID floorplans for 2, 4, and 8 d-groups
+//	layout -groups 4       # one configuration in detail
+//	layout -nuca           # the D-NUCA bank grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/floorplan"
+	"nurapid/internal/stats"
+)
+
+func main() {
+	var (
+		groups = flag.Int("groups", 0, "show one d-group count in detail (2, 4, or 8)")
+		nuca   = flag.Bool("nuca", false, "show the D-NUCA bank grid instead")
+	)
+	flag.Parse()
+	m := cacti.Default()
+
+	if *nuca {
+		showNUCA(m)
+		return
+	}
+	if *groups != 0 {
+		showPlan(m, *groups)
+		return
+	}
+	for _, n := range []int{2, 4, 8} {
+		showPlan(m, n)
+		fmt.Println()
+	}
+}
+
+func showPlan(m *cacti.Model, n int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "invalid configuration: %v\n", r)
+			os.Exit(2)
+		}
+	}()
+	plan := floorplan.NewLShapedPlan(8, n)
+	lats := m.DGroupLatencies(plan)
+	energies := m.DGroupEnergies(plan)
+	t := stats.NewTable(fmt.Sprintf("NuRAPID 8 MB, %d d-groups of %.0f MB (L-shaped floorplan)", n, plan.GroupMB()),
+		"d-group", "arm", "offset (units)", "route (units)", "latency (cyc)", "energy (nJ)")
+	for i, g := range plan.Groups {
+		t.AddRow(fmt.Sprintf("%d", i), g.Arm.String(),
+			fmt.Sprintf("%.2f", g.Offset), fmt.Sprintf("%.2f", g.Route),
+			fmt.Sprintf("%d", lats[i]), energies[i])
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(1 unit = the side of a 1-MB array; tag array adds %d cycles to every access)\n", m.TagCycles)
+}
+
+func showNUCA(m *cacti.Model) {
+	grid := floorplan.NewNUCAGrid(8, 64)
+	lats := m.NUCABankLatencies(grid)
+	energies := m.NUCABankEnergies(grid)
+	fmt.Printf("D-NUCA 8 MB: %d x %d grid of 64-KB banks (core centered below row 0)\n\n",
+		grid.Cols, grid.Rows)
+	fmt.Println("per-bank latency (cycles):")
+	for r := 0; r < grid.Rows; r++ {
+		for c := 0; c < grid.Cols; c++ {
+			fmt.Printf("%3d", lats[r*grid.Cols+c])
+		}
+		fmt.Println()
+	}
+	order := grid.BanksByDistance()
+	near, far := order[0], order[len(order)-1]
+	fmt.Printf("\nnearest bank: #%d at %.2f units, %d cycles, %.2f nJ\n",
+		near, grid.BankRoute(near), lats[near], energies[near])
+	fmt.Printf("farthest bank: #%d at %.2f units, %d cycles, %.2f nJ\n",
+		far, grid.BankRoute(far), lats[far], energies[far])
+	avg := 0.0
+	for _, e := range energies {
+		avg += e
+	}
+	fmt.Printf("average bank energy: %.2f nJ (cf. Table 2)\n", avg/float64(len(energies)))
+}

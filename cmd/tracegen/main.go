@@ -1,0 +1,156 @@
+// Command tracegen records synthetic application traces to disk and
+// inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -app mcf -n 1000000 -o mcf.trace     # record
+//	tracegen -inspect mcf.trace                   # summarize
+//	tracegen -app mcf -analyze                    # reuse-distance profile
+//	tracegen -inspect mcf.trace -analyze          # profile a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nurapid/internal/workload"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "applu", "application model to record")
+		n       = flag.Int64("n", 1_000_000, "instructions to record")
+		out     = flag.String("o", "", "output trace path (default <app>.trace)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		inspect = flag.String("inspect", "", "summarize an existing trace instead of recording")
+		analyze = flag.Bool("analyze", false, "print a reuse-distance and footprint profile")
+	)
+	flag.Parse()
+
+	if *analyze {
+		if err := analyzeSource(*inspect, *appName, *seed, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	app, ok := workload.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown application %q\n", *appName)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = app.Name + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := workload.MustNewGenerator(app, *seed)
+	if err := workload.Capture(f, app.Name, gen, *n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", *n, app.Name, path)
+}
+
+// analyzeSource profiles the data references of either a trace file or a
+// freshly generated stream: exact LRU reuse distances, the distinct-block
+// footprint, and the hit rate a fully-associative LRU cache of each
+// interesting capacity would see.
+func analyzeSource(tracePath, appName string, seed uint64, n int64) error {
+	var src workload.Source
+	label := ""
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := workload.NewTraceReader(f)
+		if err != nil {
+			return err
+		}
+		src, label = r, fmt.Sprintf("trace %s (%s)", tracePath, r.Name())
+	} else {
+		app, ok := workload.ByName(appName)
+		if !ok {
+			return fmt.Errorf("unknown application %q", appName)
+		}
+		src, label = workload.MustNewGenerator(app, seed), "generator "+app.Name
+	}
+
+	a := workload.AnalyzeSource(src, n, 128)
+	h := a.Histogram()
+	fmt.Printf("analysis of %s over %d instructions\n\n", label, n)
+	if err := h.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\ndistinct 128-B blocks touched: %d (%.1f KB)\n",
+		a.DistinctBlocks(), float64(a.DistinctBlocks())*128/1024)
+	fmt.Println("\nLRU hit rate by cache capacity (fully associative bound):")
+	for _, c := range []struct {
+		name   string
+		blocks int64
+	}{
+		{"64 KB (L1)", 512},
+		{"1 MB (base L2)", 8192},
+		{"2 MB (d-group)", 16384},
+		{"8 MB (NuRAPID)", 65536},
+	} {
+		fmt.Printf("  %-16s %6.1f%%\n", c.name, 100*h.HitFractionAt(c.blocks))
+	}
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := workload.NewTraceReader(f)
+	if err != nil {
+		return err
+	}
+	counts := map[workload.Kind]int64{}
+	mispredicts := int64(0)
+	var records int64
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		records++
+		counts[in.Kind]++
+		if in.Mispredicted {
+			mispredicts++
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s    app: %s    records: %d (declared %d)\n",
+		path, r.Name(), records, r.Count())
+	for _, k := range []workload.Kind{workload.ALU, workload.Load, workload.Store, workload.Branch} {
+		fmt.Printf("  %-7s %12d (%.1f%%)\n", k, counts[k],
+			100*float64(counts[k])/float64(max(records, 1)))
+	}
+	fmt.Printf("  mispredicted branches: %d\n", mispredicts)
+	return nil
+}

@@ -1,0 +1,77 @@
+// Tracereplay records a synthetic workload trace once, then replays the
+// identical instruction stream through all three lower-level cache
+// organizations — the methodology of a trace-driven architecture study.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"nurapid"
+	"nurapid/internal/workload"
+)
+
+const instructions = 300_000
+
+func main() {
+	app, ok := nurapid.AppByName("equake")
+	if !ok {
+		log.Fatal("equake model missing")
+	}
+
+	// Record the trace into memory (cmd/tracegen writes the same format
+	// to disk).
+	var buf bytes.Buffer
+	gen, err := nurapid.NewGenerator(app, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := workload.Capture(&buf, app.Name, gen, instructions); err != nil {
+		log.Fatal(err)
+	}
+	traceBytes := buf.Bytes()
+	fmt.Printf("recorded %d instructions of %s (%d KB trace)\n\n",
+		instructions, app.Name, len(traceBytes)/1024)
+
+	fmt.Printf("%-22s %10s %8s %12s %14s\n", "organization", "cycles", "IPC", "L2 energy nJ", "mem accesses")
+	for _, setup := range []struct {
+		name  string
+		build func() (nurapid.LowerLevel, *nurapid.Memory)
+	}{
+		{"base L2/L3", func() (nurapid.LowerLevel, *nurapid.Memory) {
+			h, m := nurapid.NewBaseHierarchy()
+			return h, m
+		}},
+		{"D-NUCA ss-perf", func() (nurapid.LowerLevel, *nurapid.Memory) {
+			c, m, err := nurapid.NewDNUCA(nurapid.DefaultDNUCAConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			return c, m
+		}},
+		{"NuRAPID 4 d-groups", func() (nurapid.LowerLevel, *nurapid.Memory) {
+			c, m, err := nurapid.New(nurapid.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			return c, m
+		}},
+	} {
+		l2, mem := setup.build()
+		core, err := nurapid.NewCPU(nurapid.DefaultCPUConfig(), l2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reader, err := workload.NewTraceReader(bytes.NewReader(traceBytes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := core.Run(reader, instructions)
+		fmt.Printf("%-22s %10d %8.3f %12.0f %14d\n",
+			setup.name, res.Cycles, res.IPC, l2.EnergyNJ(), mem.Accesses)
+	}
+
+	fmt.Println("\nevery organization saw the byte-identical access stream; the")
+	fmt.Println("differences above are purely architectural.")
+}

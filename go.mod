@@ -1,0 +1,3 @@
+module nurapid
+
+go 1.22

@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"fmt"
+
+	"nurapid/internal/mathx"
+)
+
+// Line is one tag-array entry. Aux is an opaque per-line payload for the
+// owning organization — NuRAPID stores its forward pointer there.
+type Line struct {
+	Valid bool
+	Dirty bool
+	Tag   uint64
+	Aux   int64
+}
+
+// Array is a set-associative tag array with pluggable replacement. It
+// holds no data; organizations pair it with their own data-array model.
+type Array struct {
+	geo   Geometry
+	lines []Line
+	repl  replacer
+}
+
+// NewArray builds a tag array. rng is consulted only by Random
+// replacement and may be nil otherwise.
+func NewArray(geo Geometry, policy ReplPolicy, rng *mathx.RNG) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{
+		geo:   geo,
+		lines: make([]Line, geo.NumBlocks()),
+		repl:  newReplacer(policy, geo.NumSets(), geo.Assoc, rng),
+	}, nil
+}
+
+// MustNewArray is NewArray that panics on configuration errors; for
+// static configurations validated by tests.
+func MustNewArray(geo Geometry, policy ReplPolicy, rng *mathx.RNG) *Array {
+	a, err := NewArray(geo, policy, rng)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Geometry returns the array's address mapping.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Lookup finds addr in its set. On a hit it returns the way and true; it
+// does not update recency (callers decide whether a probe counts as use).
+func (a *Array) Lookup(addr Addr) (way int, hit bool) {
+	set := a.geo.SetIndex(addr)
+	tag := a.geo.Tag(addr)
+	base := set * a.geo.Assoc
+	for w := 0; w < a.geo.Assoc; w++ {
+		if l := &a.lines[base+w]; l.Valid && l.Tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Touch records a use of (set, way) for replacement.
+func (a *Array) Touch(set, way int) { a.repl.Touch(set, way) }
+
+// VictimWay picks the way to evict from set, preferring invalid ways.
+func (a *Array) VictimWay(set int) int {
+	base := set * a.geo.Assoc
+	for w := 0; w < a.geo.Assoc; w++ {
+		if !a.lines[base+w].Valid {
+			return w
+		}
+	}
+	return a.repl.Victim(set)
+}
+
+// Line returns the entry at (set, way) for inspection or mutation.
+func (a *Array) Line(set, way int) *Line {
+	if set < 0 || set >= a.geo.NumSets() || way < 0 || way >= a.geo.Assoc {
+		panic(fmt.Sprintf("cache: line (%d,%d) out of range", set, way))
+	}
+	return &a.lines[set*a.geo.Assoc+way]
+}
+
+// Fill installs addr into (set, way), marking it valid and clean, and
+// touches it. It returns the line for further decoration (Aux, Dirty).
+func (a *Array) Fill(addr Addr, way int) *Line {
+	set := a.geo.SetIndex(addr)
+	l := a.Line(set, way)
+	l.Valid = true
+	l.Dirty = false
+	l.Tag = a.geo.Tag(addr)
+	l.Aux = 0
+	a.Touch(set, way)
+	return l
+}
+
+// Invalidate clears (set, way).
+func (a *Array) Invalidate(set, way int) {
+	l := a.Line(set, way)
+	*l = Line{}
+}
+
+// CountValid returns the number of valid lines (for tests/metrics).
+func (a *Array) CountValid() int {
+	n := 0
+	for i := range a.lines {
+		if a.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Eviction describes a block pushed out of a cache.
+type Eviction struct {
+	Addr  Addr // base byte address of the victim block
+	Dirty bool
+}
+
+// Outcome summarizes one access to a Cache.
+type Outcome struct {
+	Hit     bool
+	Way     int       // way that served or received the block
+	Evicted *Eviction // non-nil when a valid block was displaced
+}
+
+// Cache is a complete single-level cache: tag array plus fill/writeback
+// behavior. It is used directly for the L1s and the baseline L2/L3, and
+// by composition inside the NUCA organizations.
+type Cache struct {
+	arr *Array
+
+	Accesses  int64
+	Hits      int64
+	Evictions int64
+}
+
+// NewCache builds a cache with the given geometry and replacement.
+func NewCache(geo Geometry, policy ReplPolicy, rng *mathx.RNG) (*Cache, error) {
+	arr, err := NewArray(geo, policy, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{arr: arr}, nil
+}
+
+// MustNewCache is NewCache that panics on configuration errors.
+func MustNewCache(geo Geometry, policy ReplPolicy, rng *mathx.RNG) *Cache {
+	c, err := NewCache(geo, policy, rng)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache's address mapping.
+func (c *Cache) Geometry() Geometry { return c.arr.Geometry() }
+
+// Array exposes the underlying tag array (for tests and metrics).
+func (c *Cache) Array() *Array { return c.arr }
+
+// Access performs a read or write of addr with allocate-on-miss and
+// writeback of dirty victims.
+func (c *Cache) Access(addr Addr, write bool) Outcome {
+	c.Accesses++
+	geo := c.arr.Geometry()
+	set := geo.SetIndex(addr)
+	if way, hit := c.arr.Lookup(addr); hit {
+		c.Hits++
+		c.arr.Touch(set, way)
+		if write {
+			c.arr.Line(set, way).Dirty = true
+		}
+		return Outcome{Hit: true, Way: way}
+	}
+	way := c.arr.VictimWay(set)
+	var ev *Eviction
+	if l := c.arr.Line(set, way); l.Valid {
+		ev = &Eviction{Addr: geo.AddrOf(set, l.Tag), Dirty: l.Dirty}
+		c.Evictions++
+	}
+	l := c.arr.Fill(addr, way)
+	if write {
+		l.Dirty = true
+	}
+	return Outcome{Hit: false, Way: way, Evicted: ev}
+}
+
+// Contains reports whether addr is currently resident (no side effects).
+func (c *Cache) Contains(addr Addr) bool {
+	_, hit := c.arr.Lookup(addr)
+	return hit
+}
+
+// HitRate returns hits/accesses, or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}

@@ -1,0 +1,80 @@
+package cache
+
+// MSHRFile models a set of miss-status holding registers: the bound on
+// outstanding misses below a cache. Requests to a block already in
+// flight merge into its entry; when every register holds an unfinished
+// miss, new misses must stall — which is how the paper's 8-entry L1 MSHR
+// file throttles demand on the L2.
+type MSHRFile struct {
+	capacity int
+	inflight map[Addr]int64 // block address -> completion cycle
+
+	Allocations int64
+	Merges      int64
+	FullStalls  int64
+}
+
+// NewMSHRFile creates a file with the given number of registers.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHRFile{capacity: capacity, inflight: make(map[Addr]int64, capacity)}
+}
+
+// Capacity returns the number of registers.
+func (m *MSHRFile) Capacity() int { return m.capacity }
+
+// Expire retires every miss completed at or before now.
+func (m *MSHRFile) Expire(now int64) {
+	for a, done := range m.inflight {
+		if done <= now {
+			delete(m.inflight, a)
+		}
+	}
+}
+
+// Outstanding returns the number of misses still in flight at now.
+func (m *MSHRFile) Outstanding(now int64) int {
+	m.Expire(now)
+	return len(m.inflight)
+}
+
+// Lookup reports whether block is already in flight and, if so, when its
+// fill completes.
+func (m *MSHRFile) Lookup(block Addr) (doneAt int64, ok bool) {
+	doneAt, ok = m.inflight[block]
+	return doneAt, ok
+}
+
+// EarliestDone returns the earliest completion cycle among in-flight
+// misses, or -1 when none are outstanding. Callers use it to schedule a
+// retry after a full-file stall.
+func (m *MSHRFile) EarliestDone() int64 {
+	earliest := int64(-1)
+	for _, d := range m.inflight {
+		if earliest < 0 || d < earliest {
+			earliest = d
+		}
+	}
+	return earliest
+}
+
+// Allocate records a miss for block completing at doneAt. If the block
+// is already in flight the request merges (returning the earlier entry's
+// completion). If the file is full it returns the earliest cycle at
+// which a register frees, and ok=false.
+func (m *MSHRFile) Allocate(now int64, block Addr, doneAt int64) (effectiveDone int64, ok bool) {
+	m.Expire(now)
+	if done, exists := m.inflight[block]; exists {
+		m.Merges++
+		return done, true
+	}
+	if len(m.inflight) >= m.capacity {
+		m.FullStalls++
+		return m.EarliestDone(), false
+	}
+	m.inflight[block] = doneAt
+	m.Allocations++
+	return doneAt, true
+}

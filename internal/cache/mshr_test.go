@@ -1,0 +1,75 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocateAndExpire(t *testing.T) {
+	m := NewMSHRFile(2)
+	if m.Capacity() != 2 {
+		t.Fatal("capacity accessor wrong")
+	}
+	done, ok := m.Allocate(0, 100, 50)
+	if !ok || done != 50 {
+		t.Fatalf("allocate: done=%d ok=%v", done, ok)
+	}
+	if m.Outstanding(0) != 1 {
+		t.Fatal("one miss must be outstanding")
+	}
+	if m.Outstanding(50) != 0 {
+		t.Fatal("miss must retire at its completion cycle")
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(0, 100, 60)
+	done, ok := m.Allocate(5, 100, 90)
+	if !ok || done != 60 {
+		t.Fatalf("merge must return the original completion 60, got %d ok=%v", done, ok)
+	}
+	if m.Merges != 1 || m.Allocations != 1 {
+		t.Fatalf("merges=%d allocations=%d", m.Merges, m.Allocations)
+	}
+	if m.Outstanding(10) != 1 {
+		t.Fatal("merged request must not consume a second register")
+	}
+}
+
+func TestMSHRFullStall(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(0, 1, 40)
+	m.Allocate(0, 2, 70)
+	free, ok := m.Allocate(10, 3, 100)
+	if ok {
+		t.Fatal("full file must refuse")
+	}
+	if free != 40 {
+		t.Fatalf("earliest free cycle %d, want 40", free)
+	}
+	if m.FullStalls != 1 {
+		t.Fatalf("FullStalls = %d", m.FullStalls)
+	}
+	// After the first entry retires, allocation succeeds.
+	if _, ok := m.Allocate(40, 3, 100); !ok {
+		t.Fatal("allocation must succeed once a register frees")
+	}
+}
+
+func TestMSHRLookup(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Allocate(0, 7, 33)
+	if done, ok := m.Lookup(7); !ok || done != 33 {
+		t.Fatalf("lookup: done=%d ok=%v", done, ok)
+	}
+	if _, ok := m.Lookup(8); ok {
+		t.Fatal("lookup of absent block must fail")
+	}
+}
+
+func TestMSHRZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewMSHRFile(0)
+}

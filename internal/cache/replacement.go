@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"fmt"
+
+	"nurapid/internal/mathx"
+)
+
+// ReplPolicy selects the victim-choice algorithm of a tag array.
+type ReplPolicy int
+
+const (
+	// LRU is true least-recently-used, tracked with access stamps.
+	LRU ReplPolicy = iota
+	// PseudoLRU is the tree-based approximation used where true LRU
+	// hardware would be too large.
+	PseudoLRU
+	// Random picks victims uniformly at random.
+	Random
+)
+
+func (p ReplPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PseudoLRU:
+		return "pseudo-lru"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("ReplPolicy(%d)", int(p))
+	}
+}
+
+// replacer tracks recency for one tag array and picks victims.
+type replacer interface {
+	// Touch records an access to (set, way).
+	Touch(set, way int)
+	// Victim returns the way to evict from set.
+	Victim(set int) int
+}
+
+func newReplacer(policy ReplPolicy, sets, assoc int, rng *mathx.RNG) replacer {
+	switch policy {
+	case LRU:
+		return newLRUReplacer(sets, assoc)
+	case PseudoLRU:
+		return newTreeReplacer(sets, assoc)
+	case Random:
+		if rng == nil {
+			rng = mathx.NewRNG(0xCAC4E)
+		}
+		return &randomReplacer{assoc: assoc, rng: rng}
+	default:
+		panic("cache: unknown replacement policy")
+	}
+}
+
+// lruReplacer keeps a per-line last-use stamp; the victim is the line
+// with the smallest stamp.
+type lruReplacer struct {
+	assoc  int
+	clock  uint64
+	stamps []uint64
+}
+
+func newLRUReplacer(sets, assoc int) *lruReplacer {
+	return &lruReplacer{assoc: assoc, stamps: make([]uint64, sets*assoc)}
+}
+
+func (r *lruReplacer) Touch(set, way int) {
+	r.clock++
+	r.stamps[set*r.assoc+way] = r.clock
+}
+
+func (r *lruReplacer) Victim(set int) int {
+	base := set * r.assoc
+	victim, best := 0, r.stamps[base]
+	for w := 1; w < r.assoc; w++ {
+		if s := r.stamps[base+w]; s < best {
+			victim, best = w, s
+		}
+	}
+	return victim
+}
+
+// treeReplacer is binary-tree pseudo-LRU: one bit per internal node
+// points away from the most recent access. Associativity must be a power
+// of two (padded up internally otherwise).
+type treeReplacer struct {
+	assoc int
+	width int // power-of-two tree width >= assoc
+	bits  [][]bool
+}
+
+func newTreeReplacer(sets, assoc int) *treeReplacer {
+	width := 1
+	for width < assoc {
+		width *= 2
+	}
+	r := &treeReplacer{assoc: assoc, width: width, bits: make([][]bool, sets)}
+	for i := range r.bits {
+		r.bits[i] = make([]bool, width) // node 1..width-1 used; index 0 spare
+	}
+	return r
+}
+
+func (r *treeReplacer) Touch(set, way int) {
+	node := 1
+	lo, hi := 0, r.width
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			r.bits[set][node] = true // point away: right is older
+			node = 2 * node
+			hi = mid
+		} else {
+			r.bits[set][node] = false
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+}
+
+func (r *treeReplacer) Victim(set int) int {
+	node := 1
+	lo, hi := 0, r.width
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.bits[set][node] {
+			node = 2*node + 1
+			lo = mid
+		} else {
+			node = 2 * node
+			hi = mid
+		}
+	}
+	if lo >= r.assoc {
+		// Padded way: fall back to way 0 (only possible when assoc is
+		// not a power of two, which the simulated configs never use).
+		return 0
+	}
+	return lo
+}
+
+// randomReplacer picks uniformly among the ways.
+type randomReplacer struct {
+	assoc int
+	rng   *mathx.RNG
+}
+
+func (r *randomReplacer) Touch(int, int) {}
+
+func (r *randomReplacer) Victim(int) int { return r.rng.Intn(r.assoc) }

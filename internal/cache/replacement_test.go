@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"testing"
+
+	"nurapid/internal/mathx"
+)
+
+func TestReplPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || PseudoLRU.String() != "pseudo-lru" || Random.String() != "random" {
+		t.Fatal("policy strings wrong")
+	}
+	if ReplPolicy(99).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+}
+
+func TestLRUVictimIsLeastRecent(t *testing.T) {
+	r := newLRUReplacer(1, 4)
+	for _, w := range []int{0, 1, 2, 3} {
+		r.Touch(0, w)
+	}
+	if v := r.Victim(0); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+	r.Touch(0, 0) // now way 1 is oldest
+	if v := r.Victim(0); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+}
+
+func TestLRUSetsIndependent(t *testing.T) {
+	r := newLRUReplacer(2, 2)
+	r.Touch(0, 0)
+	r.Touch(0, 1)
+	r.Touch(1, 1)
+	r.Touch(1, 0)
+	if r.Victim(0) != 0 {
+		t.Fatal("set 0 victim wrong")
+	}
+	if r.Victim(1) != 1 {
+		t.Fatal("set 1 victim wrong")
+	}
+}
+
+func TestTreePLRUNeverVictimizesMostRecent(t *testing.T) {
+	r := newTreeReplacer(1, 8)
+	rng := mathx.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		w := rng.Intn(8)
+		r.Touch(0, w)
+		if v := r.Victim(0); v == w {
+			t.Fatalf("pseudo-LRU victimized the most recently used way %d", w)
+		}
+	}
+}
+
+func TestTreePLRUVictimInRange(t *testing.T) {
+	r := newTreeReplacer(4, 16)
+	rng := mathx.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		set := rng.Intn(4)
+		r.Touch(set, rng.Intn(16))
+		if v := r.Victim(set); v < 0 || v >= 16 {
+			t.Fatalf("victim %d out of range", v)
+		}
+	}
+}
+
+func TestTreePLRUApproximatesLRU(t *testing.T) {
+	// Touch ways in order; the victim must be one not touched recently
+	// (way 0..3 half after touching the 4..7 half last).
+	r := newTreeReplacer(1, 8)
+	for w := 0; w < 8; w++ {
+		r.Touch(0, w)
+	}
+	if v := r.Victim(0); v >= 4 {
+		t.Fatalf("victim %d should come from the colder half [0,4)", v)
+	}
+}
+
+func TestRandomVictimCoversAllWays(t *testing.T) {
+	r := &randomReplacer{assoc: 4, rng: mathx.NewRNG(3)}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Victim(0)
+		if v < 0 || v >= 4 {
+			t.Fatalf("victim %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("random replacement only chose ways %v", seen)
+	}
+}
+
+func TestNewReplacerUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy must panic")
+		}
+	}()
+	newReplacer(ReplPolicy(42), 1, 2, nil)
+}

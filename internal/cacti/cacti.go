@@ -1,0 +1,206 @@
+// Package cacti is an analytical cache timing and energy model in the
+// spirit of the Cacti tool the paper used (at 70 nm, 5 GHz).
+//
+// The paper published a handful of anchor values (its Table 2 energies
+// and Table 4 latencies); this model reproduces those anchors and
+// interpolates every other geometry with the same physics:
+//
+//   - data-array access time grows with d-group capacity (decode depth,
+//     longer word/bit lines, wider column muxes);
+//   - global wire delay and energy grow linearly with route length, which
+//     the floorplan package supplies in units of one 1-MB array side;
+//   - sequential tag-data access adds the (centralized) tag-array latency
+//     in front of every data access.
+//
+// The fitted constants are calibration, not first-principles circuit
+// modeling: exactly the role Cacti played for the original authors.
+package cacti
+
+import (
+	"fmt"
+	"math"
+
+	"nurapid/internal/floorplan"
+)
+
+// Model holds the technology and clock assumptions. Use Default for the
+// paper's 70-nm, 5-GHz configuration.
+type Model struct {
+	ClockGHz float64 // core clock; cycles = seconds * ClockGHz * 1e9
+	TechNm   int     // feature size, documentation only
+
+	// Latency calibration (cycles at ClockGHz).
+	TagCycles      int     // centralized sequential tag array lookup (8-way, 8 MB)
+	DataBaseCycles float64 // data-array access, capacity-independent part
+	DataPerMB      float64 // data-array access, per-MB part
+	WireCyclesUnit float64 // global wire delay per floorplan unit
+
+	// Energy calibration (nJ per access).
+	DataBaseNJ  float64 // large-array read incl. tag, at zero route
+	DataPerMBNJ float64 // capacity-dependent part
+	WireNJUnit  float64 // wire energy per floorplan unit (128-B block)
+
+	// Small-structure constants published in the paper's Table 2.
+	NUCABankNJ      float64 // closest 64-KB NUCA bank, tag+data in parallel
+	SmartSearchNJ   float64 // D-NUCA partial-tag ("smart search") array access
+	L1NJ            float64 // 2 ports of the 64-KB 2-way L1
+	NUCABankCycles  int     // raw 64-KB bank access before routing
+	SmartSearchCyc  int     // smart-search array latency
+	PointerOverhead float64 // relative energy overhead of NuRAPID fwd/rev pointers
+}
+
+// Default returns the model calibrated to the paper's anchors:
+//
+//	latency  (Table 4): fastest d-group of 2x4MB=19, 4x2MB=14, 8x1MB=12 cycles
+//	energy   (Table 2): closest 2-MB d-group 0.42 nJ, farthest of 4 3.3 nJ,
+//	                    closest 1-MB 0.40 nJ, farthest of 8 4.6 nJ,
+//	                    closest 64-KB NUCA bank 0.18 nJ, smart-search 0.19 nJ,
+//	                    L1 (2 ports) 0.57 nJ
+func Default() *Model {
+	return &Model{
+		ClockGHz:       5,
+		TechNm:         70,
+		TagCycles:      8,
+		DataBaseCycles: 1.67,
+		DataPerMB:      0.83,
+		WireCyclesUnit: 6,
+		DataBaseNJ:     0.38,
+		DataPerMBNJ:    0.02,
+		WireNJUnit:     0.9,
+		NUCABankNJ:     0.18,
+		SmartSearchNJ:  0.19,
+		L1NJ:           0.57,
+		NUCABankCycles: 3,
+		SmartSearchCyc: 3,
+		// 16-bit forward + reverse pointers on 51-bit tags / 1-Kbit
+		// blocks: ~2% extra bits switched per access.
+		PointerOverhead: 0.02,
+	}
+}
+
+// Scaled returns a copy of the model with wire delay and wire energy
+// multiplied by factor, modeling technology generations in which global
+// wires slow relative to logic — the trend motivating non-uniform cache
+// architectures in the first place. factor 1.0 is the calibrated 70-nm
+// point.
+func (m *Model) Scaled(factor float64) *Model {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cacti: non-positive wire scale %v", factor))
+	}
+	s := *m
+	s.WireCyclesUnit *= factor
+	s.WireNJUnit *= factor
+	return &s
+}
+
+// wireScale reports the model's wire delay relative to the calibrated
+// 70-nm constant; the D-NUCA bank table scales its routing share by it.
+func (m *Model) wireScale() float64 { return m.WireCyclesUnit / 6.0 }
+
+// DataArrayCycles returns the access time (cycles) of a capMB data array,
+// excluding tag and global routing.
+func (m *Model) DataArrayCycles(capMB float64) float64 {
+	if capMB <= 0 {
+		panic(fmt.Sprintf("cacti: non-positive capacity %v", capMB))
+	}
+	return m.DataBaseCycles + m.DataPerMB*capMB
+}
+
+// WireCycles returns the global-wire delay for a route of the given
+// length in floorplan units.
+func (m *Model) WireCycles(routeUnits float64) float64 {
+	return m.WireCyclesUnit * routeUnits
+}
+
+// DGroupLatencies returns the full sequential tag-data access latency, in
+// cycles, of each d-group of an L-shaped NuRAPID plan, in latency order.
+// This regenerates the NuRAPID columns of the paper's Table 4.
+func (m *Model) DGroupLatencies(plan *floorplan.Plan) []int {
+	capMB := plan.GroupMB()
+	out := make([]int, len(plan.Groups))
+	for i, r := range plan.Routes() {
+		lat := float64(m.TagCycles) + m.DataArrayCycles(capMB) + m.WireCycles(r)
+		out[i] = int(math.Round(lat))
+	}
+	return out
+}
+
+// DataAccessNJ returns the tag+data access energy of a capMB d-group at
+// zero route distance.
+func (m *Model) DataAccessNJ(capMB float64) float64 {
+	if capMB <= 0 {
+		panic(fmt.Sprintf("cacti: non-positive capacity %v", capMB))
+	}
+	return (m.DataBaseNJ + m.DataPerMBNJ*capMB) * (1 + m.PointerOverhead)
+}
+
+// WireNJ returns the energy to move one 128-B block over a route of the
+// given length in floorplan units.
+func (m *Model) WireNJ(routeUnits float64) float64 {
+	return m.WireNJUnit * routeUnits
+}
+
+// DGroupEnergies returns the per-access energy (nJ) of each d-group of a
+// NuRAPID plan, in latency order: array access plus routing measured from
+// the closest group. This regenerates the NuRAPID rows of Table 2.
+func (m *Model) DGroupEnergies(plan *floorplan.Plan) []float64 {
+	capMB := plan.GroupMB()
+	out := make([]float64, len(plan.Groups))
+	for i, r := range plan.RelativeRoutes() {
+		out[i] = m.DataAccessNJ(capMB) + m.WireNJ(r)
+	}
+	return out
+}
+
+// nucaMBLatency is the average access latency of each successive megabyte
+// of the 8-MB D-NUCA, taken directly from the paper's Table 4 (the
+// per-bank ranges were not published legibly; the averages were). Bank
+// latencies are assigned from this table by distance rank.
+var nucaMBLatency = []int{7, 11, 14, 17, 20, 23, 26, 29}
+
+// NUCABankLatencies returns the per-bank access latency (parallel
+// tag-data, including routing) for every bank of the D-NUCA grid, indexed
+// by bank number. Calibrated so each successive megabyte of banks (by
+// distance) averages the paper's Table 4 D-NUCA column.
+func (m *Model) NUCABankLatencies(grid *floorplan.NUCAGrid) []int {
+	order := grid.BanksByDistance()
+	banksPerMB := int(math.Round(1.0 / grid.BankMB))
+	out := make([]int, grid.NumBanks())
+	scale := m.wireScale()
+	for rank, b := range order {
+		mb := rank / banksPerMB
+		if mb >= len(nucaMBLatency) {
+			mb = len(nucaMBLatency) - 1
+		}
+		// The table's routing share (everything beyond the raw bank
+		// access) scales with the model's wire delay.
+		base := float64(m.NUCABankCycles)
+		out[b] = int(math.Round(base + scale*(float64(nucaMBLatency[mb])-base)))
+	}
+	return out
+}
+
+// NUCABankEnergies returns the per-access energy (nJ) of every bank of
+// the D-NUCA grid, indexed by bank number: the closest-bank access energy
+// plus wire energy for the extra route. This regenerates the NUCA rows of
+// Table 2.
+func (m *Model) NUCABankEnergies(grid *floorplan.NUCAGrid) []float64 {
+	nearest := grid.BankRoute(grid.BanksByDistance()[0])
+	out := make([]float64, grid.NumBanks())
+	for b := range out {
+		out[b] = m.NUCABankNJ + m.WireNJ(grid.BankRoute(b)-nearest)
+	}
+	return out
+}
+
+// UniformCacheNJ returns the per-access energy of a monolithic
+// uniform-access cache of capMB with sequential tag-data access, charging
+// the average route to its subarrays. Used for the baseline L2/L3.
+func (m *Model) UniformCacheNJ(capMB float64) float64 {
+	// A uniform cache pays, on average, the route to the middle of its
+	// own footprint; for a compact (~1 MB) array that routing is already
+	// inside the base access energy, so only the excess over a 1-MB
+	// footprint is charged.
+	avgRoute := math.Max(0, math.Sqrt(capMB)-1)
+	return m.DataBaseNJ + m.DataPerMBNJ*capMB + m.WireNJ(avgRoute)
+}

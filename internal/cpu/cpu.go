@@ -1,0 +1,297 @@
+// Package cpu is a cycle-level simplified out-of-order core in the role
+// SimpleScalar played for the paper, with the paper's Table 1 structural
+// parameters: 8-wide issue, a 64-entry instruction window (RUU), a
+// 32-entry load/store queue, pipelined 3-cycle 64-KB 2-way L1s, 8 MSHRs,
+// a hybrid branch predictor folded into the workload's misprediction
+// stream, and a 9-cycle redirect penalty.
+//
+// The model captures the first-order effects the evaluation depends on:
+// how much L2 latency the out-of-order window hides, how the MSHRs bound
+// memory-level parallelism, and how L2 port occupancy feeds back into
+// the pipeline. Instructions dispatch in order into the window, complete
+// at computed times, and commit in order.
+package cpu
+
+import (
+	"fmt"
+
+	"nurapid/internal/cache"
+	"nurapid/internal/memsys"
+	"nurapid/internal/workload"
+)
+
+// Config sets the core's structural parameters.
+type Config struct {
+	Width             int   // fetch/dispatch/commit width
+	ROB               int   // instruction window (paper: RUU 64)
+	LSQ               int   // in-flight memory instructions
+	MSHRs             int   // outstanding L1 misses
+	MispredictPenalty int64 // redirect bubble in cycles
+	L1Latency         int64 // L1 hit latency
+	L1Geometry        cache.Geometry
+	FetchBytes        int // bytes per fetch block (I-cache access unit)
+}
+
+// DefaultConfig returns the paper's Table 1 core.
+func DefaultConfig() Config {
+	return Config{
+		Width:             8,
+		ROB:               64,
+		LSQ:               32,
+		MSHRs:             8,
+		MispredictPenalty: 9,
+		L1Latency:         3,
+		L1Geometry:        cache.Geometry{CapacityBytes: 64 << 10, BlockBytes: 32, Assoc: 2},
+		FetchBytes:        32,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROB <= 0 || c.LSQ <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: non-positive structure size in %+v", c)
+	}
+	if c.L1Latency <= 0 || c.MispredictPenalty < 0 || c.FetchBytes <= 0 {
+		return fmt.Errorf("cpu: bad latency/penalty in %+v", c)
+	}
+	return c.L1Geometry.Validate()
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Instructions int64
+	Cycles       int64
+	IPC          float64
+
+	L1DAccesses, L1DMisses int64
+	L1IAccesses, L1IMisses int64
+	L2Accesses             int64
+	APKI                   float64 // L2 accesses per 1000 instructions
+
+	L1EnergyNJ float64
+}
+
+type robEntry struct {
+	done  int64
+	isMem bool
+}
+
+// CPU drives a workload through the L1s and the lower-level organization
+// under test.
+type CPU struct {
+	cfg  Config
+	l1d  *cache.Cache
+	l1i  *cache.Cache
+	mshr *cache.MSHRFile
+	l2   memsys.LowerLevel
+	l1NJ float64
+
+	rob        []robEntry
+	head, tail int
+	used       int
+	lsqUsed    int
+
+	cycle      int64
+	committed  int64
+	stallUntil int64 // no dispatch before this cycle (redirect, MSHR full)
+	memIssued  bool  // the single L1D port already used this cycle
+
+	curFetchBlock uint64
+	l2Accesses    int64
+	l1Energy      float64
+}
+
+// New builds a CPU around the given lower-level cache. l1NJ is the
+// per-access L1 energy (Table 2's 0.57 nJ for 2 ports).
+func New(cfg Config, l2 memsys.LowerLevel, l1NJ float64) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1d, err := cache.NewCache(cfg.L1Geometry, cache.LRU, nil)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := cache.NewCache(cfg.L1Geometry, cache.LRU, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &CPU{
+		cfg:           cfg,
+		l1d:           l1d,
+		l1i:           l1i,
+		mshr:          cache.NewMSHRFile(cfg.MSHRs),
+		l2:            l2,
+		l1NJ:          l1NJ,
+		rob:           make([]robEntry, cfg.ROB),
+		curFetchBlock: ^uint64(0),
+	}, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(cfg Config, l2 memsys.LowerLevel, l1NJ float64) *CPU {
+	c, err := New(cfg, l2, l1NJ)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Run executes up to maxInstr instructions from src (or until the source
+// ends) and returns the run summary.
+func (c *CPU) Run(src workload.Source, maxInstr int64) Result {
+	var pending *workload.Instr
+	sourceDone := false
+
+	for c.committed < maxInstr {
+		c.commitStage()
+
+		// Dispatch stage.
+		c.memIssued = false
+		dispatched := 0
+		for dispatched < c.cfg.Width && c.used < c.cfg.ROB && c.cycle >= c.stallUntil {
+			if pending == nil {
+				if sourceDone || c.committed+int64(c.used) >= maxInstr {
+					break
+				}
+				in, ok := src.Next()
+				if !ok {
+					sourceDone = true
+					break
+				}
+				pending = &in
+			}
+			if !c.dispatch(pending) {
+				break // structural stall; retry the same instruction
+			}
+			pending = nil
+			dispatched++
+		}
+
+		if sourceDone && c.used == 0 && pending == nil {
+			break
+		}
+		c.cycle++
+	}
+
+	res := Result{
+		Instructions: c.committed,
+		Cycles:       c.cycle,
+		L1DAccesses:  c.l1d.Accesses,
+		L1DMisses:    c.l1d.Accesses - c.l1d.Hits,
+		L1IAccesses:  c.l1i.Accesses,
+		L1IMisses:    c.l1i.Accesses - c.l1i.Hits,
+		L2Accesses:   c.l2Accesses,
+		L1EnergyNJ:   c.l1Energy,
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	if res.Instructions > 0 {
+		res.APKI = float64(res.L2Accesses) * 1000 / float64(res.Instructions)
+	}
+	return res
+}
+
+// commitStage retires up to Width completed instructions in order.
+func (c *CPU) commitStage() {
+	for n := 0; n < c.cfg.Width && c.used > 0; n++ {
+		e := &c.rob[c.head]
+		if e.done > c.cycle {
+			return
+		}
+		if e.isMem {
+			c.lsqUsed--
+		}
+		c.head = (c.head + 1) % c.cfg.ROB
+		c.used--
+		c.committed++
+	}
+}
+
+// dispatch tries to enter one instruction into the window; it returns
+// false on a structural stall (LSQ or MSHR full, I-fetch miss pending).
+func (c *CPU) dispatch(in *workload.Instr) bool {
+	// Instruction fetch: one I-cache access per fetch-block transition.
+	fb := in.PC / uint64(c.cfg.FetchBytes)
+	if fb != c.curFetchBlock {
+		c.curFetchBlock = fb
+		c.l1Energy += c.l1NJ
+		if out := c.l1i.Access(in.PC, false); !out.Hit {
+			done := c.l2Request(in.PC, false)
+			c.stallUntil = done // fetch stalls on an I-miss
+			return false
+		}
+	}
+
+	var done int64
+	isMem := false
+	switch in.Kind {
+	case workload.ALU:
+		done = c.cycle + 1
+	case workload.Branch:
+		done = c.cycle + 1
+		if in.Mispredicted {
+			c.stallUntil = c.cycle + 1 + c.cfg.MispredictPenalty
+		}
+	case workload.Load, workload.Store:
+		if c.lsqUsed >= c.cfg.LSQ {
+			return false // wait for commits to drain the LSQ
+		}
+		if c.memIssued {
+			return false // the 1-ported, pipelined L1D takes one access per cycle
+		}
+		c.memIssued = true
+		isMem = true
+		write := in.Kind == workload.Store
+		block := in.Addr / 128 // lower-level block granularity
+		// Structural pre-check before any state changes: a miss that
+		// cannot merge needs a free MSHR, or dispatch stalls here and
+		// retries the same instruction once one frees.
+		if !c.l1d.Contains(in.Addr) {
+			if _, merge := c.mshr.Lookup(block); !merge &&
+				c.mshr.Outstanding(c.cycle) >= c.cfg.MSHRs {
+				c.stallUntil = c.mshr.EarliestDone()
+				return false
+			}
+		}
+		c.l1Energy += c.l1NJ
+		out := c.l1d.Access(in.Addr, write)
+		if out.Evicted != nil && out.Evicted.Dirty {
+			// L1 writeback into the lower level; does not block.
+			c.l2Request(out.Evicted.Addr, true)
+		}
+		switch {
+		case out.Hit:
+			done = c.cycle + c.cfg.L1Latency
+		default:
+			if fill, ok := c.mshr.Lookup(block); ok {
+				c.mshr.Allocate(c.cycle, block, fill) // merge
+				done = fill
+			} else {
+				fill := c.l2Request(in.Addr, write) + c.cfg.L1Latency
+				if _, ok := c.mshr.Allocate(c.cycle, block, fill); !ok {
+					panic("cpu: MSHR full despite pre-check")
+				}
+				done = fill
+			}
+			if write {
+				// Stores retire through the store buffer.
+				done = c.cycle + 1
+			}
+		}
+	}
+
+	c.rob[c.tail] = robEntry{done: done, isMem: isMem}
+	c.tail = (c.tail + 1) % c.cfg.ROB
+	c.used++
+	if isMem {
+		c.lsqUsed++
+	}
+	return true
+}
+
+// l2Request issues one access to the organization under test.
+func (c *CPU) l2Request(addr uint64, write bool) int64 {
+	c.l2Accesses++
+	return c.l2.Access(c.cycle, addr, write).DoneAt
+}

@@ -1,0 +1,123 @@
+package cpu
+
+import (
+	"testing"
+
+	"nurapid/internal/workload"
+)
+
+func TestSingleL1DPortLimitsMemoryThroughput(t *testing.T) {
+	// A stream of L1-hitting loads can retire at most one per cycle, so
+	// IPC for a pure-load stream saturates at ~1 even with width 8.
+	instrs := []workload.Instr{{Kind: workload.Load, PC: 0x400000, Addr: 0x10000000}}
+	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 30000)
+	if res.IPC > 1.05 {
+		t.Fatalf("pure-load IPC %.2f exceeds the single L1D port bound", res.IPC)
+	}
+	if res.IPC < 0.8 {
+		t.Fatalf("pure-load IPC %.2f far below the port bound", res.IPC)
+	}
+}
+
+func TestMixedStreamExceedsOneIPC(t *testing.T) {
+	// ALU work between loads issues in parallel with the L1D port.
+	instrs := make([]workload.Instr, 8)
+	for i := range instrs {
+		instrs[i] = workload.Instr{Kind: workload.ALU, PC: 0x400000 + uint64(i)*4}
+	}
+	instrs[0] = workload.Instr{Kind: workload.Load, PC: 0x400000, Addr: 0x10000000}
+	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 40000)
+	if res.IPC < 2 {
+		t.Fatalf("mixed stream IPC %.2f; ALU work should overlap the load port", res.IPC)
+	}
+}
+
+func TestICacheMissStallsFetch(t *testing.T) {
+	// Jumping between many distinct 32-B fetch blocks across a footprint
+	// larger than the 64-KB L1I forces I-misses, which stall dispatch.
+	mkInstrs := func(spreadBlocks int) []workload.Instr {
+		out := make([]workload.Instr, 256)
+		for i := range out {
+			out[i] = workload.Instr{Kind: workload.ALU,
+				PC: 0x400000 + uint64(i%spreadBlocks)*4096}
+		}
+		return out
+	}
+	run := func(spread int) cpuRunStats {
+		c := MustNew(DefaultConfig(), newStubL2(50), 0.5)
+		res := c.Run(&fixedSource{instrs: mkInstrs(spread), loop: true}, 30000)
+		return cpuRunStats{ipc: res.IPC, iMisses: res.L1IMisses}
+	}
+	small := run(8)    // fits the L1I: no steady-state misses
+	large := run(4096) // 16 MB of fetch blocks: constant misses
+	if large.iMisses <= small.iMisses {
+		t.Fatalf("large code footprint must miss more: %d vs %d", large.iMisses, small.iMisses)
+	}
+	if large.ipc >= small.ipc {
+		t.Fatalf("I-misses must cost IPC: %.2f vs %.2f", large.ipc, small.ipc)
+	}
+}
+
+type cpuRunStats struct {
+	ipc     float64
+	iMisses int64
+}
+
+func TestLSQBoundsInFlightMemOps(t *testing.T) {
+	// With a huge L2 latency and LSQ=2, in-flight loads are capped, so
+	// throughput collapses versus LSQ=32.
+	run := func(lsq int) float64 {
+		cfg := DefaultConfig()
+		cfg.LSQ = lsq
+		instrs := make([]workload.Instr, 64)
+		for i := range instrs {
+			instrs[i] = workload.Instr{Kind: workload.Load, PC: 0x400000,
+				Addr: 0x10000000 + uint64(i)*4096}
+		}
+		c := MustNew(cfg, newStubL2(200), 0.5)
+		return c.Run(&fixedSource{instrs: instrs, loop: true}, 10000).IPC
+	}
+	if small, big := run(2), run(32); small >= big {
+		t.Fatalf("LSQ=2 IPC %.3f must be below LSQ=32 IPC %.3f", small, big)
+	}
+}
+
+func TestDirtyL1VictimWritesToL2(t *testing.T) {
+	// Stores to conflicting L1 sets generate writeback traffic to the
+	// lower level beyond the demand misses.
+	cfg := DefaultConfig()
+	stub := newStubL2(10)
+	c := MustNew(cfg, stub, 0.5)
+	l1Sets := uint64(cfg.L1Geometry.NumSets() * cfg.L1Geometry.BlockBytes)
+	instrs := make([]workload.Instr, 8)
+	for i := range instrs {
+		// 8 blocks in one L1 set (2-way): constant dirty evictions.
+		instrs[i] = workload.Instr{Kind: workload.Store, PC: 0x400000,
+			Addr: 0x10000000 + uint64(i)*l1Sets}
+	}
+	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 5000)
+	if stub.accesses <= res.L1DMisses {
+		t.Fatalf("L2 accesses (%d) must exceed demand misses (%d) due to writebacks",
+			stub.accesses, res.L1DMisses)
+	}
+}
+
+func TestZeroMaxInstr(t *testing.T) {
+	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	res := c.Run(&fixedSource{instrs: alus(8), loop: true}, 0)
+	if res.Instructions != 0 {
+		t.Fatalf("committed %d, want 0", res.Instructions)
+	}
+}
+
+func TestBranchWithoutMispredictIsCheap(t *testing.T) {
+	instrs := alus(8)
+	instrs[3] = workload.Instr{Kind: workload.Branch, PC: 0x40000c}
+	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 40000)
+	if res.IPC < 6 {
+		t.Fatalf("predicted branches must not stall: IPC %.2f", res.IPC)
+	}
+}

@@ -1,0 +1,40 @@
+package energy
+
+import (
+	"testing"
+
+	"nurapid/internal/cacti"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(cacti.Default())
+	if p.L1NJ != 0.57 {
+		t.Fatalf("L1NJ = %v, want Table 2's 0.57", p.L1NJ)
+	}
+	if p.CoreNJPerCycle <= 0 || p.CoreNJPerInstr <= 0 {
+		t.Fatal("core rates must be positive")
+	}
+}
+
+func TestCollectAndTotal(t *testing.T) {
+	p := Params{CoreNJPerCycle: 2, CoreNJPerInstr: 3, L1NJ: 0.5}
+	b := p.Collect(100, 50, 10, 7, 9)
+	if b.CoreNJ != 2*100+3*50 {
+		t.Fatalf("CoreNJ = %v", b.CoreNJ)
+	}
+	if b.L1NJ != 5 {
+		t.Fatalf("L1NJ = %v", b.L1NJ)
+	}
+	if b.L2NJ != 7 || b.MemoryNJ != 9 {
+		t.Fatal("passthrough components wrong")
+	}
+	if b.TotalNJ() != b.CoreNJ+5+7+9 {
+		t.Fatalf("TotalNJ = %v", b.TotalNJ())
+	}
+}
+
+func TestEnergyDelay(t *testing.T) {
+	if EnergyDelay(10, 100) != 1000 {
+		t.Fatal("EnergyDelay wrong")
+	}
+}

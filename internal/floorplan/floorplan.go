@@ -1,0 +1,208 @@
+// Package floorplan models the physical placement of cache data arrays.
+//
+// The paper's latency and energy numbers are dominated by global wires:
+// how far a d-group (or a NUCA bank) sits from the processor core, and
+// how much closer structure the route must detour around. This package
+// captures just enough geometry to reproduce those effects:
+//
+//   - NuRAPID uses an L-shaped floorplan (paper Figure 3b): the core sits
+//     in the unoccupied corner and d-groups are packed greedily onto the
+//     two arms in latency order.
+//   - D-NUCA uses an aggressive rectangular bank grid (paper Figure 3a):
+//     128 small banks tiled in front of the core.
+//
+// Distances are expressed in "units", where one unit is the side length
+// of a 1-MB square data array at the modeled technology node (70 nm).
+// The cacti package converts units to cycles and nanojoules.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arm identifies which arm of the L-shaped floorplan a d-group occupies.
+type Arm int
+
+const (
+	// ArmCorner is the position abutting the core (group 0 only).
+	ArmCorner Arm = iota
+	// ArmX extends along the x axis.
+	ArmX
+	// ArmY extends along the y axis.
+	ArmY
+)
+
+func (a Arm) String() string {
+	switch a {
+	case ArmCorner:
+		return "corner"
+	case ArmX:
+		return "arm-x"
+	case ArmY:
+		return "arm-y"
+	default:
+		return fmt.Sprintf("Arm(%d)", int(a))
+	}
+}
+
+// armWidth is the width of each arm of the L in units. An 8-MB cache
+// packed into an L with 2-unit-wide arms has arms about 2 units by 4
+// units each, matching the aspect ratio of Figure 3(b).
+const armWidth = 2.0
+
+// detourPerCrossing is the extra route length (in units) added for every
+// closer d-group the wires must route around. It models switch/turn
+// overhead and congestion: with more, smaller d-groups the route to the
+// farthest group is progressively less direct, which is why the paper's
+// Table 4 shows the slowest megabyte getting slower as the d-group count
+// grows.
+const detourPerCrossing = 0.4
+
+// Group is the placement of one d-group on the L-shaped floorplan.
+type Group struct {
+	Index  int     // latency order; 0 is closest to the core
+	Arm    Arm     // which arm holds the group
+	Offset float64 // units from the core to the group's near edge
+	Extent float64 // units of arm length the group occupies
+	Route  float64 // wire route length, units, core to group centroid
+}
+
+// Plan is a complete NuRAPID floorplan: n equal d-groups packed onto the
+// two arms of the L in latency order.
+type Plan struct {
+	TotalMB int
+	Groups  []Group
+}
+
+// NewLShapedPlan packs nGroups equal-capacity d-groups of an 8-MB-class
+// cache (totalMB) onto an L-shaped floorplan and returns their route
+// distances in latency order. It panics unless nGroups divides totalMB
+// evenly and both are positive, since fractional-megabyte d-groups are
+// outside the paper's design space.
+func NewLShapedPlan(totalMB, nGroups int) *Plan {
+	if totalMB <= 0 || nGroups <= 0 || totalMB%nGroups != 0 {
+		panic(fmt.Sprintf("floorplan: invalid plan %d MB / %d groups", totalMB, nGroups))
+	}
+	groupMB := float64(totalMB) / float64(nGroups)
+	// Arm length consumed by one group: area / arm width.
+	extent := groupMB / armWidth
+
+	p := &Plan{TotalMB: totalMB, Groups: make([]Group, nGroups)}
+
+	// Group 0 occupies the corner region adjacent to the core; its route
+	// is just half its own extent. Both arms then start beyond it.
+	p.Groups[0] = Group{Index: 0, Arm: ArmCorner, Offset: 0, Extent: extent, Route: extent / 2}
+	frontier := map[Arm]float64{ArmX: extent, ArmY: extent}
+	next := ArmX
+	for i := 1; i < nGroups; i++ {
+		arm := next
+		if next == ArmX {
+			next = ArmY
+		} else {
+			next = ArmX
+		}
+		off := frontier[arm]
+		frontier[arm] = off + extent
+		route := off + extent/2 + detourPerCrossing*float64(i)
+		p.Groups[i] = Group{Index: i, Arm: arm, Offset: off, Extent: extent, Route: route}
+	}
+	return p
+}
+
+// Routes returns the per-group route lengths in latency order.
+func (p *Plan) Routes() []float64 {
+	out := make([]float64, len(p.Groups))
+	for i, g := range p.Groups {
+		out[i] = g.Route
+	}
+	return out
+}
+
+// RelativeRoutes returns route lengths measured from the closest group's
+// centroid, which is the wire length the paper's Table 2 energy entries
+// charge beyond the base array access ("includes routing").
+func (p *Plan) RelativeRoutes() []float64 {
+	out := p.Routes()
+	base := out[0]
+	for i := range out {
+		out[i] -= base
+	}
+	return out
+}
+
+// GroupMB returns the capacity of each d-group in megabytes.
+func (p *Plan) GroupMB() float64 {
+	return float64(p.TotalMB) / float64(len(p.Groups))
+}
+
+// NUCAGrid is the rectangular D-NUCA bank tiling of Figure 3(a): cols
+// columns of rows banks each, the core centered under the first row.
+type NUCAGrid struct {
+	Cols, Rows int
+	BankMB     float64
+}
+
+// NewNUCAGrid builds the grid for a totalMB cache of banks×bankKB banks.
+// The paper's configuration is 8 MB in 128 64-KB banks, tiled 16 wide and
+// 8 deep in front of the core.
+func NewNUCAGrid(totalMB int, bankKB int) *NUCAGrid {
+	banks := totalMB * 1024 / bankKB
+	if banks <= 0 || totalMB*1024%bankKB != 0 {
+		panic(fmt.Sprintf("floorplan: invalid NUCA grid %d MB / %d KB banks", totalMB, bankKB))
+	}
+	// Tile twice as wide as deep, matching Figure 3(a)'s 16x8 aspect.
+	cols := 1
+	for cols*cols < 2*banks {
+		cols *= 2
+	}
+	rows := banks / cols
+	for rows*cols != banks {
+		cols /= 2
+		rows = banks / cols
+	}
+	return &NUCAGrid{Cols: cols, Rows: rows, BankMB: float64(bankKB) / 1024}
+}
+
+// NumBanks returns the number of banks in the grid.
+func (g *NUCAGrid) NumBanks() int { return g.Cols * g.Rows }
+
+// BankRoute returns the Manhattan wire route (in units) from the core to
+// bank b. Banks are numbered row-major, row 0 nearest the core; the core
+// sits centered below row 0, so horizontal distance is measured from the
+// grid's midline. D-NUCA's rectangular floorplan is more aggressive than
+// the L: no detour term, direct Manhattan routing.
+func (g *NUCAGrid) BankRoute(b int) float64 {
+	if b < 0 || b >= g.NumBanks() {
+		panic(fmt.Sprintf("floorplan: bank %d out of range", b))
+	}
+	side := math.Sqrt(g.BankMB) // units
+	row := b / g.Cols
+	col := b % g.Cols
+	dx := math.Abs(float64(col)+0.5-float64(g.Cols)/2) * side
+	dy := (float64(row) + 0.5) * side
+	return dx + dy
+}
+
+// BanksByDistance returns bank indices sorted from nearest to farthest
+// (ties broken by index), which defines D-NUCA's latency ordering of the
+// ways within a bank set.
+func (g *NUCAGrid) BanksByDistance() []int {
+	idx := make([]int, g.NumBanks())
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort keeps this dependency-free and the grid is small.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			ra, rb := g.BankRoute(a), g.BankRoute(b)
+			if ra > rb || (ra == rb && a > b) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}

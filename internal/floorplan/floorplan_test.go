@@ -1,0 +1,207 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLShapedPlanSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		p := NewLShapedPlan(8, n)
+		if len(p.Groups) != n {
+			t.Fatalf("plan(8,%d) has %d groups", n, len(p.Groups))
+		}
+		if got := p.GroupMB(); got != 8.0/float64(n) {
+			t.Fatalf("GroupMB = %v, want %v", got, 8.0/float64(n))
+		}
+	}
+}
+
+func TestLShapedPlanInvalid(t *testing.T) {
+	for _, tc := range [][2]int{{8, 3}, {8, 0}, {0, 2}, {-8, 2}, {8, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewLShapedPlan(%d,%d) must panic", tc[0], tc[1])
+				}
+			}()
+			NewLShapedPlan(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestRoutesMonotone(t *testing.T) {
+	// Route length must be nondecreasing in latency order: group i is
+	// defined as the i-th closest.
+	for _, n := range []int{2, 4, 8} {
+		routes := NewLShapedPlan(8, n).Routes()
+		for i := 1; i < len(routes); i++ {
+			if routes[i] < routes[i-1] {
+				t.Fatalf("n=%d: route[%d]=%v < route[%d]=%v", n, i, routes[i], i-1, routes[i-1])
+			}
+		}
+	}
+}
+
+func TestFarthestRouteGrowsWithGroupCount(t *testing.T) {
+	// Paper Sec. 5.1: "as the number of d-groups increases, the latency
+	// of the slowest megabyte increases". Our reconstruction preserves
+	// this for the 8-group case; 2 vs 4 groups tie at the far corner.
+	r2 := NewLShapedPlan(8, 2).Routes()
+	r4 := NewLShapedPlan(8, 4).Routes()
+	r8 := NewLShapedPlan(8, 8).Routes()
+	if r8[len(r8)-1] <= r4[len(r4)-1] {
+		t.Fatalf("slowest route: 8 groups %v must exceed 4 groups %v",
+			r8[len(r8)-1], r4[len(r4)-1])
+	}
+	if r4[len(r4)-1] < r2[len(r2)-1] {
+		t.Fatalf("slowest route: 4 groups %v must not be below 2 groups %v",
+			r4[len(r4)-1], r2[len(r2)-1])
+	}
+}
+
+func TestClosestRouteShrinksWithGroupCount(t *testing.T) {
+	// Smaller d-groups put the closest data closer to the core.
+	r2 := NewLShapedPlan(8, 2).Routes()
+	r4 := NewLShapedPlan(8, 4).Routes()
+	r8 := NewLShapedPlan(8, 8).Routes()
+	if !(r8[0] < r4[0] && r4[0] < r2[0]) {
+		t.Fatalf("closest routes must shrink: got %v, %v, %v", r2[0], r4[0], r8[0])
+	}
+}
+
+func TestRelativeRoutes(t *testing.T) {
+	p := NewLShapedPlan(8, 4)
+	rel := p.RelativeRoutes()
+	if rel[0] != 0 {
+		t.Fatalf("relative route of group 0 must be 0, got %v", rel[0])
+	}
+	abs := p.Routes()
+	for i := range rel {
+		if math.Abs(rel[i]-(abs[i]-abs[0])) > 1e-12 {
+			t.Fatalf("relative route %d inconsistent", i)
+		}
+	}
+}
+
+func TestGroupArms(t *testing.T) {
+	p := NewLShapedPlan(8, 4)
+	if p.Groups[0].Arm != ArmCorner {
+		t.Fatal("group 0 must sit at the corner")
+	}
+	// Subsequent groups alternate arms.
+	if p.Groups[1].Arm != ArmX || p.Groups[2].Arm != ArmY || p.Groups[3].Arm != ArmX {
+		t.Fatalf("arms = %v %v %v, want alternating x/y/x",
+			p.Groups[1].Arm, p.Groups[2].Arm, p.Groups[3].Arm)
+	}
+}
+
+func TestArmString(t *testing.T) {
+	if ArmCorner.String() != "corner" || ArmX.String() != "arm-x" || ArmY.String() != "arm-y" {
+		t.Fatal("Arm.String wrong")
+	}
+	if Arm(9).String() == "" {
+		t.Fatal("unknown arm must still render")
+	}
+}
+
+func TestGroupExtentsCoverArea(t *testing.T) {
+	// Property: total extent x arm width == total area, for any valid split.
+	f := func(k uint8) bool {
+		n := 1 << (k % 4) // 1, 2, 4, 8
+		p := NewLShapedPlan(8, n)
+		total := 0.0
+		for _, g := range p.Groups {
+			total += g.Extent * armWidth
+		}
+		return math.Abs(total-8.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNUCAGridShape(t *testing.T) {
+	g := NewNUCAGrid(8, 64)
+	if g.NumBanks() != 128 {
+		t.Fatalf("NumBanks = %d, want 128", g.NumBanks())
+	}
+	if g.Cols != 16 || g.Rows != 8 {
+		t.Fatalf("grid = %dx%d, want 16x8", g.Cols, g.Rows)
+	}
+}
+
+func TestNUCAGridInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid grid must panic")
+		}
+	}()
+	NewNUCAGrid(8, 1000) // does not divide evenly
+}
+
+func TestBankRouteRange(t *testing.T) {
+	g := NewNUCAGrid(8, 64)
+	for b := 0; b < g.NumBanks(); b++ {
+		r := g.BankRoute(b)
+		if r <= 0 {
+			t.Fatalf("bank %d route %v must be positive", b, r)
+		}
+	}
+	// Farthest corner bank must be farther than any row-0 bank.
+	far := g.BankRoute(g.NumBanks() - 1)
+	for b := 0; b < g.Cols; b++ {
+		if g.BankRoute(b) >= far {
+			t.Fatalf("row-0 bank %d route %v >= far corner %v", b, g.BankRoute(b), far)
+		}
+	}
+}
+
+func TestBankRoutePanicsOutOfRange(t *testing.T) {
+	g := NewNUCAGrid(8, 64)
+	for _, b := range []int{-1, g.NumBanks()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BankRoute(%d) must panic", b)
+				}
+			}()
+			g.BankRoute(b)
+		}()
+	}
+}
+
+func TestBanksByDistanceSorted(t *testing.T) {
+	g := NewNUCAGrid(8, 64)
+	order := g.BanksByDistance()
+	if len(order) != g.NumBanks() {
+		t.Fatalf("order has %d entries", len(order))
+	}
+	seen := make(map[int]bool)
+	prev := -1.0
+	for _, b := range order {
+		if seen[b] {
+			t.Fatalf("bank %d appears twice", b)
+		}
+		seen[b] = true
+		r := g.BankRoute(b)
+		if r < prev {
+			t.Fatalf("order not sorted: %v after %v", r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestNUCAClosestBankNearerThanNuRAPIDGroup(t *testing.T) {
+	// The paper: D-NUCA's small banks allow access to the closest data at
+	// least as fast as NuRAPID's large d-groups (the rest of D-NUCA's
+	// latency edge comes from parallel tag-data access, not routing).
+	g := NewNUCAGrid(8, 64)
+	nearest := g.BankRoute(g.BanksByDistance()[0])
+	p := NewLShapedPlan(8, 8)
+	if nearest > p.Routes()[0] {
+		t.Fatalf("closest NUCA bank %v must not be farther than closest 1-MB d-group %v",
+			nearest, p.Routes()[0])
+	}
+}

@@ -1,0 +1,131 @@
+// Package memsys defines the contract between the CPU model and the
+// lower-level cache organizations (conventional hierarchy, D-NUCA,
+// NuRAPID), plus the two pieces they all share: the main-memory model and
+// the port-occupancy scoreboard.
+//
+// All timing flows through explicit cycle numbers: the CPU owns the
+// clock, calls Access(now, ...), and the organization returns when the
+// data will be available. Organizations update their internal state
+// atomically at access time and model contention with Port scoreboards.
+package memsys
+
+import "nurapid/internal/stats"
+
+// AccessResult reports the outcome of one lower-level cache access.
+type AccessResult struct {
+	// Hit is true when the block was resident.
+	Hit bool
+	// DoneAt is the cycle at which the requested data is available.
+	DoneAt int64
+	// Group is the distance-group (or latency bank-group) that served a
+	// hit, in latency order; -1 for a miss.
+	Group int
+}
+
+// LowerLevel is the single interface every L2 organization implements.
+// Access fully handles the request, including fetching from memory on a
+// miss and any internal block movement (promotions, demotions, swaps).
+type LowerLevel interface {
+	// Name identifies the organization in experiment output.
+	Name() string
+	// Access performs a read or write of addr issued at cycle now.
+	Access(now int64, addr uint64, write bool) AccessResult
+	// Distribution returns where accesses were served (per latency
+	// group, plus misses) — the paper's Figures 4, 5, 7 data.
+	Distribution() *stats.Distribution
+	// EnergyNJ returns the total dynamic energy consumed so far,
+	// including tag arrays, data arrays, wires, and search structures,
+	// but excluding main memory.
+	EnergyNJ() float64
+	// Counters exposes the organization's event counts (swaps,
+	// demotions, writebacks, d-group accesses, ...).
+	Counters() *stats.Counters
+}
+
+// Memory models main memory with the paper's Table 1 parameters:
+// a fixed access latency plus a per-8-byte transfer charge.
+type Memory struct {
+	BaseLatency int64   // cycles before the first 8 bytes arrive
+	PerChunk    int64   // cycles per 8-byte chunk
+	BlockBytes  int     // transfer size
+	AccessNJ    float64 // dynamic energy per block transfer
+
+	Accesses int64
+	Writes   int64
+	energy   float64
+}
+
+// NewMemory returns the paper's memory model: 130 cycles + 4 cycles per
+// 8 bytes, so a 128-byte block costs 194 cycles. The energy constant is
+// not in the paper's Table 2; 40 nJ per block transfer is a typical
+// DRAM+bus figure for the era and is documented in EXPERIMENTS.md.
+func NewMemory(blockBytes int) *Memory {
+	return &Memory{
+		BaseLatency: 130,
+		PerChunk:    4,
+		BlockBytes:  blockBytes,
+		AccessNJ:    40,
+	}
+}
+
+// Latency returns the block-transfer latency in cycles.
+func (m *Memory) Latency() int64 {
+	return m.BaseLatency + m.PerChunk*int64(m.BlockBytes/8)
+}
+
+// Read fetches one block starting at cycle now and returns the completion
+// cycle.
+func (m *Memory) Read(now int64) int64 {
+	m.Accesses++
+	m.energy += m.AccessNJ
+	return now + m.Latency()
+}
+
+// Write retires one block writeback. Writebacks are buffered and do not
+// stall the requester, so no completion time is returned.
+func (m *Memory) Write() {
+	m.Accesses++
+	m.Writes++
+	m.energy += m.AccessNJ
+}
+
+// EnergyNJ returns total memory energy so far.
+func (m *Memory) EnergyNJ() float64 { return m.energy }
+
+// Port is an occupancy scoreboard for a single-ported resource: a
+// non-banked cache, or one bank of a multibanked one.
+type Port struct {
+	freeAt int64
+
+	// BusyCycles accumulates total occupied time, for utilization stats.
+	BusyCycles int64
+	// Conflicts counts acquisitions that had to wait.
+	Conflicts int64
+	// WaitCycles accumulates total time spent waiting.
+	WaitCycles int64
+}
+
+// Acquire occupies the port for duration cycles starting no earlier than
+// now, returning the actual start cycle (= now when the port was free).
+func (p *Port) Acquire(now, duration int64) int64 {
+	start := now
+	if p.freeAt > now {
+		start = p.freeAt
+		p.Conflicts++
+		p.WaitCycles += p.freeAt - now
+	}
+	p.freeAt = start + duration
+	p.BusyCycles += duration
+	return start
+}
+
+// Extend lengthens the current occupancy by duration cycles — used when
+// an access discovers follow-on work (swaps, demotions) after it has
+// already acquired the port.
+func (p *Port) Extend(duration int64) {
+	p.freeAt += duration
+	p.BusyCycles += duration
+}
+
+// FreeAt returns the cycle at which the port next becomes free.
+func (p *Port) FreeAt() int64 { return p.freeAt }

@@ -1,0 +1,90 @@
+package nuca
+
+import (
+	"testing"
+
+	"nurapid/internal/mathx"
+)
+
+func TestIncrementalHitLatencyGrowsWithGroup(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
+	c.Access(0, blockAddr(1), false)
+	// Hit in the slowest group: every group probed sequentially first.
+	r := c.Access(100000, blockAddr(1), false)
+	slow := r.DoneAt - 100000
+	// Bubble the block to group 0 and measure again.
+	for i := 0; i < 8; i++ {
+		c.Access(int64(200000+i*10000), blockAddr(1), false)
+	}
+	r = c.Access(1000000, blockAddr(1), false)
+	fast := r.DoneAt - 1000000
+	if fast != 7 {
+		t.Fatalf("group-0 incremental hit = %d cycles, want 7 (first probe only)", fast)
+	}
+	if slow <= fast {
+		t.Fatalf("slowest-group hit (%d) must exceed group-0 hit (%d)", slow, fast)
+	}
+}
+
+func TestIncrementalUsesNoSmartSearch(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
+	c.Access(0, blockAddr(1), false)
+	c.Access(100000, blockAddr(1), false)
+	if c.Counters().Get("ss_accesses") != 0 {
+		t.Fatal("incremental search must not touch the smart-search array")
+	}
+}
+
+func TestIncrementalMissProbesAllGroups(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
+	before := c.Counters().Get("bank_accesses")
+	c.Access(0, blockAddr(1), false) // miss: 8 probes + 1 fill
+	probes := c.Counters().Get("bank_accesses") - before
+	if probes != int64(c.NumGroups())+1 {
+		t.Fatalf("miss performed %d bank accesses, want %d", probes, c.NumGroups()+1)
+	}
+}
+
+func TestIncrementalGroupZeroHitProbesOnce(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
+	c.Access(0, blockAddr(1), false)
+	for i := 0; i < 8; i++ {
+		c.Access(int64(100000+i*10000), blockAddr(1), false)
+	}
+	if c.GroupOf(blockAddr(1)) != 0 {
+		t.Fatal("setup: block must reach group 0")
+	}
+	before := c.Counters().Get("bank_accesses")
+	c.Access(1000000, blockAddr(1), false) // group-0 hit, no swap
+	if got := c.Counters().Get("bank_accesses") - before; got != 1 {
+		t.Fatalf("group-0 incremental hit used %d bank accesses, want 1", got)
+	}
+}
+
+func TestIncrementalSlowerThanSSPerformance(t *testing.T) {
+	run := func(policy SearchPolicy) int64 {
+		c, _ := build(t, func(cfg *Config) { cfg.Policy = policy })
+		rng := mathx.NewRNG(31)
+		var last int64
+		for i := 0; i < 20000; i++ {
+			r := c.Access(int64(i)*40, blockAddr(rng.Intn(30000)), rng.Bool(0.2))
+			last = r.DoneAt
+		}
+		return last
+	}
+	if inc, ss := run(Incremental), run(SSPerformance); inc <= ss {
+		t.Fatalf("incremental (%d) must be slower than ss-performance (%d)", inc, ss)
+	}
+}
+
+func TestIncrementalInvariants(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
+	rng := mathx.NewRNG(33)
+	zipf := mathx.NewZipf(rng.Split(), 0.8, 100000)
+	for i := 0; i < 50000; i++ {
+		c.Access(int64(i)*40, blockAddr(zipf.Draw()), rng.Bool(0.3))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

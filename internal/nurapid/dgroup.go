@@ -1,0 +1,244 @@
+package nurapid
+
+import (
+	"fmt"
+
+	"nurapid/internal/mathx"
+)
+
+// frameMeta is the data-array side of one block frame: the reverse
+// pointer (set, way) locating the block's tag entry (paper Sec. 2.2),
+// plus a small saturating hit counter used by promotion triggers.
+type frameMeta struct {
+	valid bool
+	set   int32
+	way   int8
+	hits  uint8 // hits since the block arrived in this d-group
+}
+
+// dgroup is one distance-group: a pool of data frames at a single
+// latency. Frames are divided into partitions to express the placement
+// restrictions the paper discusses:
+//
+//   - unrestricted distance associativity: one partition spanning the
+//     whole d-group (any block anywhere);
+//   - pointer-restricted placement (Sec. 2.4.3): fixed-size partitions,
+//     a block's set selecting its partition;
+//   - set-associative placement (the Fig. 4 comparison): one partition
+//     per set, holding assoc/nGroups frames.
+//
+// Each partition maintains a free list and an intrusive recency list so
+// both random and true-LRU distance replacement run in O(1).
+type dgroup struct {
+	id       int
+	latency  int64   // full serve latency, tag included
+	dataLat  int64   // data array + wire portion (block movement cost)
+	accessNJ float64 // energy per data-array access
+
+	nParts   int
+	partSize int
+	frames   []frameMeta
+
+	// Intrusive doubly-linked recency list per partition over occupied
+	// frames (head = most recent). Free frames are chained through next.
+	prev, next       []int32
+	lruHead, lruTail []int32
+	freeHead         []int32
+	freeCount        []int32
+
+	accesses int64 // data-array accesses (serves, swap reads/writes, fills)
+}
+
+const nilFrame = int32(-1)
+
+func newDGroup(id int, latency, dataLat int64, accessNJ float64, nParts, partSize int) *dgroup {
+	n := nParts * partSize
+	g := &dgroup{
+		id:        id,
+		latency:   latency,
+		dataLat:   dataLat,
+		accessNJ:  accessNJ,
+		nParts:    nParts,
+		partSize:  partSize,
+		frames:    make([]frameMeta, n),
+		prev:      make([]int32, n),
+		next:      make([]int32, n),
+		lruHead:   make([]int32, nParts),
+		lruTail:   make([]int32, nParts),
+		freeHead:  make([]int32, nParts),
+		freeCount: make([]int32, nParts),
+	}
+	for p := 0; p < nParts; p++ {
+		g.lruHead[p] = nilFrame
+		g.lruTail[p] = nilFrame
+		// Chain the partition's frames into its free list.
+		base := int32(p * partSize)
+		g.freeHead[p] = base
+		g.freeCount[p] = int32(partSize)
+		for i := int32(0); i < int32(partSize); i++ {
+			f := base + i
+			if i == int32(partSize)-1 {
+				g.next[f] = nilFrame
+			} else {
+				g.next[f] = f + 1
+			}
+			g.prev[f] = nilFrame
+		}
+	}
+	return g
+}
+
+func (g *dgroup) numFrames() int { return len(g.frames) }
+
+func (g *dgroup) partOf(f int32) int { return int(f) / g.partSize }
+
+// takeFree pops a free frame from partition p, or returns nilFrame.
+func (g *dgroup) takeFree(p int) int32 {
+	f := g.freeHead[p]
+	if f == nilFrame {
+		return nilFrame
+	}
+	g.freeHead[p] = g.next[f]
+	g.freeCount[p]--
+	return f
+}
+
+// victim selects an occupied frame of partition p to demote. The caller
+// must have exhausted takeFree first, so the partition is full and any
+// frame is occupied; random selection is a single draw and LRU is the
+// recency-list tail.
+func (g *dgroup) victim(p int, useLRU bool, rng *mathx.RNG) int32 {
+	if useLRU {
+		f := g.lruTail[p]
+		if f == nilFrame {
+			panic(fmt.Sprintf("nurapid: d-group %d partition %d has no occupied frames", g.id, p))
+		}
+		return f
+	}
+	if g.freeCount[p] != 0 {
+		panic(fmt.Sprintf("nurapid: random victim requested while partition %d has free frames", p))
+	}
+	return int32(p*g.partSize) + int32(rng.Intn(g.partSize))
+}
+
+// occupy installs a block into free frame f and makes it most recent.
+func (g *dgroup) occupy(f int32, set int32, way int8) {
+	if g.frames[f].valid {
+		panic("nurapid: occupying a valid frame")
+	}
+	g.frames[f] = frameMeta{valid: true, set: set, way: way, hits: 0}
+	g.lruPush(f)
+}
+
+// replace swaps the occupant of frame f for a new block, returning the
+// old occupant's identity. Recency is refreshed: the incoming block was
+// just accessed or just demoted.
+func (g *dgroup) replace(f int32, set int32, way int8) (oldSet int32, oldWay int8) {
+	m := &g.frames[f]
+	if !m.valid {
+		panic("nurapid: replacing an empty frame")
+	}
+	oldSet, oldWay = m.set, m.way
+	m.set, m.way = set, way
+	m.hits = 0
+	g.lruUnlink(f)
+	g.lruPush(f)
+	return oldSet, oldWay
+}
+
+// release frees frame f (block evicted from the cache or promoted away).
+func (g *dgroup) release(f int32) {
+	if !g.frames[f].valid {
+		panic("nurapid: releasing an empty frame")
+	}
+	g.lruUnlink(f)
+	g.frames[f].valid = false
+	p := g.partOf(f)
+	g.next[f] = g.freeHead[p]
+	g.freeHead[p] = f
+	g.freeCount[p]++
+}
+
+// touch marks frame f most recently used in its partition.
+func (g *dgroup) touch(f int32) {
+	g.lruUnlink(f)
+	g.lruPush(f)
+}
+
+func (g *dgroup) lruPush(f int32) {
+	p := g.partOf(f)
+	g.prev[f] = nilFrame
+	g.next[f] = g.lruHead[p]
+	if g.lruHead[p] != nilFrame {
+		g.prev[g.lruHead[p]] = f
+	}
+	g.lruHead[p] = f
+	if g.lruTail[p] == nilFrame {
+		g.lruTail[p] = f
+	}
+}
+
+func (g *dgroup) lruUnlink(f int32) {
+	p := g.partOf(f)
+	if g.prev[f] != nilFrame {
+		g.next[g.prev[f]] = g.next[f]
+	} else {
+		g.lruHead[p] = g.next[f]
+	}
+	if g.next[f] != nilFrame {
+		g.prev[g.next[f]] = g.prev[f]
+	} else {
+		g.lruTail[p] = g.prev[f]
+	}
+	g.prev[f] = nilFrame
+	g.next[f] = nilFrame
+}
+
+// checkIntegrity validates the partition lists (tests only): every
+// occupied frame is on exactly one recency list, every free frame on its
+// free list, and counts agree.
+func (g *dgroup) checkIntegrity() error {
+	for p := 0; p < g.nParts; p++ {
+		onLRU := make(map[int32]bool)
+		for f := g.lruHead[p]; f != nilFrame; f = g.next[f] {
+			if onLRU[f] {
+				return fmt.Errorf("d-group %d partition %d: recency list cycle at %d", g.id, p, f)
+			}
+			if !g.frames[f].valid {
+				return fmt.Errorf("d-group %d: free frame %d on recency list", g.id, f)
+			}
+			if g.partOf(f) != p {
+				return fmt.Errorf("d-group %d: frame %d on wrong partition list %d", g.id, f, p)
+			}
+			onLRU[f] = true
+		}
+		free := int32(0)
+		for f := g.freeHead[p]; f != nilFrame; f = g.next[f] {
+			if g.frames[f].valid {
+				return fmt.Errorf("d-group %d: occupied frame %d on free list", g.id, f)
+			}
+			free++
+			if free > int32(g.partSize) {
+				return fmt.Errorf("d-group %d partition %d: free list cycle", g.id, p)
+			}
+		}
+		if free != g.freeCount[p] {
+			return fmt.Errorf("d-group %d partition %d: free count %d, list %d", g.id, p, g.freeCount[p], free)
+		}
+		occupied := 0
+		for i := p * g.partSize; i < (p+1)*g.partSize; i++ {
+			if g.frames[i].valid {
+				occupied++
+			}
+		}
+		if occupied != len(onLRU) {
+			return fmt.Errorf("d-group %d partition %d: %d occupied frames but %d on recency list",
+				g.id, p, occupied, len(onLRU))
+		}
+		if occupied+int(free) != g.partSize {
+			return fmt.Errorf("d-group %d partition %d: %d occupied + %d free != %d",
+				g.id, p, occupied, free, g.partSize)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package nurapid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nurapid/internal/mathx"
+)
+
+func newTestGroup(nParts, partSize int) *dgroup {
+	return newDGroup(0, 14, 6, 0.42, nParts, partSize)
+}
+
+func TestDGroupFreeListExhaustion(t *testing.T) {
+	g := newTestGroup(1, 4)
+	var frames []int32
+	for i := 0; i < 4; i++ {
+		f := g.takeFree(0)
+		if f == nilFrame {
+			t.Fatalf("free list exhausted after %d of 4", i)
+		}
+		g.occupy(f, int32(i), 0)
+		frames = append(frames, f)
+	}
+	if g.takeFree(0) != nilFrame {
+		t.Fatal("full partition must return nilFrame")
+	}
+	g.release(frames[2])
+	if f := g.takeFree(0); f != frames[2] {
+		t.Fatalf("released frame %d not reused (got %d)", frames[2], f)
+	}
+}
+
+func TestDGroupLRUVictimOrder(t *testing.T) {
+	g := newTestGroup(1, 3)
+	f0, f1, f2 := g.takeFree(0), g.takeFree(0), g.takeFree(0)
+	g.occupy(f0, 0, 0)
+	g.occupy(f1, 1, 0)
+	g.occupy(f2, 2, 0)
+	// f0 is the oldest.
+	if v := g.victim(0, true, nil); v != f0 {
+		t.Fatalf("LRU victim = %d, want %d", v, f0)
+	}
+	g.touch(f0) // now f1 is oldest
+	if v := g.victim(0, true, nil); v != f1 {
+		t.Fatalf("LRU victim after touch = %d, want %d", v, f1)
+	}
+}
+
+func TestDGroupReplaceKeepsIdentity(t *testing.T) {
+	g := newTestGroup(1, 2)
+	f := g.takeFree(0)
+	g.occupy(f, 7, 3)
+	oldSet, oldWay := g.replace(f, 9, 1)
+	if oldSet != 7 || oldWay != 3 {
+		t.Fatalf("replace returned (%d,%d), want (7,3)", oldSet, oldWay)
+	}
+	if g.frames[f].set != 9 || g.frames[f].way != 1 {
+		t.Fatal("replace did not install the new block")
+	}
+	// The replaced frame must be most recent.
+	g2 := g.takeFree(0)
+	g.occupy(g2, 5, 5)
+	g.touch(f)
+	if v := g.victim(0, true, nil); v != g2 {
+		t.Fatalf("victim = %d, want the colder frame %d", v, g2)
+	}
+}
+
+func TestDGroupRandomVictimRequiresFullPartition(t *testing.T) {
+	g := newTestGroup(1, 2)
+	f := g.takeFree(0)
+	g.occupy(f, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("random victim with free frames must panic")
+		}
+	}()
+	g.victim(0, false, mathx.NewRNG(1))
+}
+
+func TestDGroupPartitionsIndependent(t *testing.T) {
+	g := newTestGroup(2, 2)
+	// Exhaust partition 0; partition 1 must still have frames.
+	g.occupy(g.takeFree(0), 0, 0)
+	g.occupy(g.takeFree(0), 2, 0)
+	if g.takeFree(0) != nilFrame {
+		t.Fatal("partition 0 should be full")
+	}
+	f1 := g.takeFree(1)
+	if f1 == nilFrame {
+		t.Fatal("partition 1 must be unaffected")
+	}
+	g.occupy(f1, 1, 0) // a taken frame must be occupied before checking
+	if err := g.checkIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGroupOccupyValidFramePanics(t *testing.T) {
+	g := newTestGroup(1, 2)
+	f := g.takeFree(0)
+	g.occupy(f, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double occupy must panic")
+		}
+	}()
+	g.occupy(f, 1, 0)
+}
+
+func TestDGroupReleaseEmptyFramePanics(t *testing.T) {
+	g := newTestGroup(1, 2)
+	f := g.takeFree(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a free frame must panic")
+		}
+	}()
+	g.release(f)
+}
+
+func TestDGroupQuickRandomOps(t *testing.T) {
+	// Property: any sequence of take/occupy/touch/release operations
+	// leaves the partition lists consistent.
+	f := func(seed uint64, opsRaw []uint8) bool {
+		g := newTestGroup(2, 8)
+		rng := mathx.NewRNG(seed)
+		var occupied []int32
+		for _, op := range opsRaw {
+			switch op % 3 {
+			case 0: // allocate
+				p := rng.Intn(2)
+				if fr := g.takeFree(p); fr != nilFrame {
+					g.occupy(fr, int32(rng.Intn(100)), int8(rng.Intn(8)))
+					occupied = append(occupied, fr)
+				}
+			case 1: // touch
+				if len(occupied) > 0 {
+					g.touch(occupied[rng.Intn(len(occupied))])
+				}
+			case 2: // release
+				if len(occupied) > 0 {
+					i := rng.Intn(len(occupied))
+					g.release(occupied[i])
+					occupied = append(occupied[:i], occupied[i+1:]...)
+				}
+			}
+		}
+		return g.checkIntegrity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheQuickInvariantsUnderRandomAccess(t *testing.T) {
+	// Property: for any seed and modest access count, the full cache's
+	// forward/reverse pointer bijection holds under every policy knob.
+	f := func(seed uint64, pol, dist uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Promotion = Promotion(pol % 3)
+		cfg.Distance = DistancePolicy(dist % 2)
+		cfg.Seed = seed
+		c := MustNew(cfg, testModel(), testMemory())
+		rng := mathx.NewRNG(seed ^ 0xABCD)
+		for i := 0; i < 4000; i++ {
+			c.Access(int64(i)*20, blockAddr(rng.Intn(150000)), rng.Bool(0.3))
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

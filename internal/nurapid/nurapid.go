@@ -1,0 +1,557 @@
+// Package nurapid implements the paper's primary contribution: the
+// Non-uniform access with Replacement And Placement using Distance
+// associativity cache (NuRAPID).
+//
+// A centralized set-associative tag array is probed before the data
+// arrays (sequential tag-data access). Each tag entry carries a forward
+// pointer to an arbitrary frame in one of a few large distance-groups
+// (d-groups); each frame carries a reverse pointer back to its tag
+// entry. New blocks are placed in the fastest d-group; making room
+// demotes some other block — not necessarily from the same set — to the
+// next-slower d-group, rippling until a free frame absorbs the chain.
+// Eviction from the cache (data replacement) stays LRU within the set
+// and is completely decoupled from demotion (distance replacement).
+//
+// The cache is one-ported and non-banked: any outstanding block movement
+// must complete before the next access starts, modeled with a single
+// port scoreboard.
+package nurapid
+
+import (
+	"fmt"
+
+	"nurapid/internal/cache"
+	"nurapid/internal/cacti"
+	"nurapid/internal/floorplan"
+	"nurapid/internal/mathx"
+	"nurapid/internal/memsys"
+	"nurapid/internal/stats"
+)
+
+// Promotion selects what happens when a block hits outside the fastest
+// d-group (paper Sec. 2.4.1).
+type Promotion int
+
+const (
+	// DemotionOnly never promotes; blocks only move outward.
+	DemotionOnly Promotion = iota
+	// NextFastest promotes a hit block one d-group closer, demoting the
+	// distance-replacement victim of that group into the freed frame.
+	NextFastest
+	// Fastest promotes a hit block straight to d-group 0, rippling
+	// demotions outward until the freed frame absorbs the chain.
+	Fastest
+)
+
+func (p Promotion) String() string {
+	switch p {
+	case DemotionOnly:
+		return "demotion-only"
+	case NextFastest:
+		return "next-fastest"
+	case Fastest:
+		return "fastest"
+	default:
+		return fmt.Sprintf("Promotion(%d)", int(p))
+	}
+}
+
+// DistancePolicy selects how the distance-replacement victim is chosen
+// within a d-group (paper Sec. 2.4.2).
+type DistancePolicy int
+
+const (
+	// RandomDistance picks a victim frame uniformly (the paper's
+	// recommended cheap policy).
+	RandomDistance DistancePolicy = iota
+	// LRUDistance tracks true LRU among a d-group's frames (the paper's
+	// expensive reference point).
+	LRUDistance
+)
+
+func (p DistancePolicy) String() string {
+	switch p {
+	case RandomDistance:
+		return "random"
+	case LRUDistance:
+		return "lru"
+	default:
+		return fmt.Sprintf("DistancePolicy(%d)", int(p))
+	}
+}
+
+// Placement selects the tag-data coupling mode.
+type Placement int
+
+const (
+	// DistanceAssociative is NuRAPID's decoupled placement: any block in
+	// any frame of any d-group.
+	DistanceAssociative Placement = iota
+	// SetAssociative couples placement to the set, giving each set a
+	// fixed assoc/nGroups frames per d-group — the comparison cache of
+	// the paper's Figure 4.
+	SetAssociative
+)
+
+func (p Placement) String() string {
+	switch p {
+	case DistanceAssociative:
+		return "distance-associative"
+	case SetAssociative:
+		return "set-associative"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Config parameterizes a NuRAPID cache. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	CapacityBytes int64 // total data capacity (8 MB in the paper)
+	BlockBytes    int   // 128 in the paper
+	Assoc         int   // tag-array associativity (8 in the paper)
+	NumDGroups    int   // 2, 4, or 8
+
+	Promotion Promotion
+	Distance  DistancePolicy
+	Placement Placement
+
+	// RestrictFrames, when positive, restricts each block to a partition
+	// of that many frames within each d-group (Sec. 2.4.3), shrinking
+	// the forward/reverse pointers. 0 means fully flexible.
+	RestrictFrames int
+
+	// PromoteHits is the promotion trigger: a block is promoted after
+	// its PromoteHits-th hit since arriving in its current d-group.
+	// 0 and 1 both mean "promote on every hit" (the paper's policy);
+	// higher values screen blocks before moving them, an ablation of
+	// the screening D-NUCA performs with its slowest-first placement.
+	PromoteHits int
+
+	Seed uint64 // seed for random distance replacement
+}
+
+// DefaultConfig is the paper's primary design: 8 MB, 8-way, 128-B blocks,
+// 4 d-groups, next-fastest promotion, random distance replacement.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes: 8 << 20,
+		BlockBytes:    128,
+		Assoc:         8,
+		NumDGroups:    4,
+		Promotion:     NextFastest,
+		Distance:      RandomDistance,
+		Placement:     DistanceAssociative,
+		Seed:          1,
+	}
+}
+
+// accessIssueInterval is the cycles between successive accesses the
+// single port can accept when no block movement is outstanding: the tag
+// array and data subarrays are pipelined even though the cache is
+// non-banked.
+const accessIssueInterval = 4
+
+// movementOccupancy is the port time one block movement operation (a
+// swap read or write, a demotion write, a victim read) holds the single
+// port: a 128-B block transfer on the wide (64-B/cycle), pipelined
+// internal bus.
+// Movement must complete before the next access is initiated, so these
+// cycles are the price NuRAPID pays for each swap — kept affordable by
+// how few swaps its placement policy needs.
+const movementOccupancy = 2
+
+// Cache is a NuRAPID lower-level cache. It implements memsys.LowerLevel.
+type Cache struct {
+	cfg    Config
+	geo    cache.Geometry
+	tags   *cache.Array
+	groups []*dgroup
+	tagLat int64
+	tagNJ  float64
+
+	framesPerGroup int
+	nParts         int
+
+	port memsys.Port
+	mem  *memsys.Memory
+	rng  *mathx.RNG
+
+	dist   *stats.Distribution
+	ctrs   stats.Counters
+	energy float64
+}
+
+// New builds a NuRAPID cache with latencies and energies derived from the
+// cacti model and the L-shaped floorplan.
+func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
+	geo := cache.Geometry{CapacityBytes: cfg.CapacityBytes, BlockBytes: cfg.BlockBytes, Assoc: cfg.Assoc}
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumDGroups <= 0 || geo.NumBlocks()%cfg.NumDGroups != 0 {
+		return nil, fmt.Errorf("nurapid: %d blocks do not divide into %d d-groups",
+			geo.NumBlocks(), cfg.NumDGroups)
+	}
+	totalMB := int(cfg.CapacityBytes >> 20)
+	if int64(totalMB)<<20 != cfg.CapacityBytes || totalMB%cfg.NumDGroups != 0 {
+		return nil, fmt.Errorf("nurapid: capacity %d B does not split into %d whole-MB d-groups",
+			cfg.CapacityBytes, cfg.NumDGroups)
+	}
+	framesPerGroup := geo.NumBlocks() / cfg.NumDGroups
+
+	var nParts, partSize int
+	switch cfg.Placement {
+	case DistanceAssociative:
+		if cfg.RestrictFrames > 0 {
+			if framesPerGroup%cfg.RestrictFrames != 0 {
+				return nil, fmt.Errorf("nurapid: %d frames per d-group not divisible by restriction %d",
+					framesPerGroup, cfg.RestrictFrames)
+			}
+			nParts, partSize = framesPerGroup/cfg.RestrictFrames, cfg.RestrictFrames
+		} else {
+			nParts, partSize = 1, framesPerGroup
+		}
+	case SetAssociative:
+		if cfg.Assoc%cfg.NumDGroups != 0 {
+			return nil, fmt.Errorf("nurapid: set-associative placement needs assoc %d divisible by %d d-groups",
+				cfg.Assoc, cfg.NumDGroups)
+		}
+		nParts, partSize = geo.NumSets(), cfg.Assoc/cfg.NumDGroups
+	default:
+		return nil, fmt.Errorf("nurapid: unknown placement %v", cfg.Placement)
+	}
+	if cfg.PromoteHits < 0 || cfg.PromoteHits > 200 {
+		return nil, fmt.Errorf("nurapid: promotion trigger %d out of range", cfg.PromoteHits)
+	}
+
+	plan := floorplan.NewLShapedPlan(totalMB, cfg.NumDGroups)
+	lats := m.DGroupLatencies(plan)
+	energies := m.DGroupEnergies(plan)
+
+	labels := make([]string, cfg.NumDGroups)
+	groups := make([]*dgroup, cfg.NumDGroups)
+	for g := range groups {
+		labels[g] = fmt.Sprintf("dgroup-%d", g)
+		groups[g] = newDGroup(g, int64(lats[g]), int64(lats[g])-int64(m.TagCycles),
+			energies[g], nParts, partSize)
+	}
+
+	tags, err := cache.NewArray(geo, cache.LRU, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:            cfg,
+		geo:            geo,
+		tags:           tags,
+		groups:         groups,
+		tagLat:         int64(m.TagCycles),
+		tagNJ:          0.05,
+		framesPerGroup: framesPerGroup,
+		nParts:         nParts,
+		mem:            mem,
+		rng:            mathx.NewRNG(cfg.Seed),
+		dist:           stats.NewDistribution(labels...),
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config, m *cacti.Model, mem *memsys.Memory) *Cache {
+	c, err := New(cfg, m, mem)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements memsys.LowerLevel.
+func (c *Cache) Name() string {
+	return fmt.Sprintf("nurapid-%dg-%s", c.cfg.NumDGroups, c.cfg.Promotion)
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// partition returns the frame partition for a block of the given set.
+// The mapping is identical in every d-group, so demotion chains stay
+// within one partition and the conservation argument (a freed frame is
+// always reachable) holds.
+func (c *Cache) partition(set int32) int {
+	if c.nParts == 1 {
+		return 0
+	}
+	if c.cfg.Placement == SetAssociative {
+		return int(set)
+	}
+	return int(set) % c.nParts
+}
+
+// Forward pointers are stored in tag-line Aux as 1+global frame id so
+// that the zero value means "no frame".
+func encodeFrame(group int, f int32, framesPerGroup int) int64 {
+	return int64(group*framesPerGroup+int(f)) + 1
+}
+
+func (c *Cache) decodeFrame(aux int64) (group int, f int32) {
+	if aux == 0 {
+		panic("nurapid: tag entry has no forward pointer")
+	}
+	gid := int(aux - 1)
+	return gid / c.framesPerGroup, int32(gid % c.framesPerGroup)
+}
+
+// chargeAccess records one data-array access in d-group g (a serve, a
+// swap read/write, or a fill), charging energy and counting it toward the
+// paper's "d-group accesses" comparison.
+func (c *Cache) chargeAccess(g int) {
+	grp := c.groups[g]
+	grp.accesses++
+	c.energy += grp.accessNJ
+}
+
+// Access implements memsys.LowerLevel.
+func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+	c.ctrs.Inc("accesses")
+	set := c.geo.SetIndex(addr)
+	way, hit := c.tags.Lookup(addr)
+	if hit {
+		return c.accessHit(now, set, way, write)
+	}
+	return c.accessMiss(now, addr, set, write)
+}
+
+func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResult {
+	line := c.tags.Line(set, way)
+	c.tags.Touch(set, way)
+	if write {
+		line.Dirty = true
+	}
+	g, f := c.decodeFrame(line.Aux)
+	grp := c.groups[g]
+	grp.touch(f)
+	if grp.frames[f].hits < 255 {
+		grp.frames[f].hits++
+	}
+
+	// The single port accepts a new access every issue interval
+	// (sequential tag-data accesses pipeline through the tag array and
+	// subarrays), but outstanding block movement — charged via Extend in
+	// place() — must complete before the next access starts, per the
+	// paper's one-ported, non-banked design.
+	start := c.port.Acquire(now, accessIssueInterval)
+	done := start + grp.latency
+	c.chargeAccess(g)
+	c.dist.AddHit(g)
+
+	trigger := uint8(1)
+	if c.cfg.PromoteHits > 1 {
+		trigger = uint8(c.cfg.PromoteHits)
+	}
+	switch c.cfg.Promotion {
+	case NextFastest:
+		if g > 0 && grp.frames[f].hits >= trigger {
+			c.moveBlock(set, way, g, g-1)
+		}
+	case Fastest:
+		if g > 0 && grp.frames[f].hits >= trigger {
+			c.moveBlock(set, way, g, 0)
+		}
+	}
+	return memsys.AccessResult{Hit: true, DoneAt: done, Group: g}
+}
+
+func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.AccessResult {
+	// The miss is discovered in the tag array after the tag latency; the
+	// pipelined port frees after the issue interval. The fill write and
+	// the writeback victim read happen when memory responds, generally
+	// off the port's critical path, so only demotion ripples (block
+	// movement between d-groups, in place()) extend the port.
+	start := c.port.Acquire(now, accessIssueInterval)
+	c.energy += c.tagNJ
+	c.dist.AddMiss()
+	c.ctrs.Inc("misses")
+
+	// Conventional data replacement: evict the set's LRU block from the
+	// cache, freeing a frame somewhere (paper Fig. 2 step 2).
+	way := c.tags.VictimWay(set)
+	vl := c.tags.Line(set, way)
+	if vl.Valid {
+		vg, vf := c.decodeFrame(vl.Aux)
+		c.groups[vg].release(vf)
+		c.ctrs.Inc("evictions")
+		if vl.Dirty {
+			c.ctrs.Inc("writebacks")
+			c.chargeAccess(vg) // victim read for writeback
+			c.mem.Write()
+		}
+	}
+
+	done := c.mem.Read(start + c.tagLat)
+
+	line := c.tags.Fill(addr, way)
+	if write {
+		line.Dirty = true
+	}
+	// Distance placement: the new block goes to the fastest d-group,
+	// demotions rippling outward until the freed frame absorbs them.
+	c.place(int32(set), int8(way), 0)
+	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
+}
+
+// moveBlock promotes the block at (set, way) from d-group `from` to
+// d-group `to` (to < from): its current frame is released, and placement
+// into `to` demotes victims outward; the chain terminates at the released
+// frame at the latest.
+func (c *Cache) moveBlock(set, way, from, to int) {
+	line := c.tags.Line(set, way)
+	_, f := c.decodeFrame(line.Aux)
+	c.groups[from].release(f)
+	c.ctrs.Inc("promotions")
+	// Reading the promoted block out of its old group happened as part
+	// of the serve; only the movement writes/reads below are extra.
+	c.place(int32(set), int8(way), to)
+}
+
+// place installs the block identified by its tag coordinates into
+// d-group g, performing distance replacement: if the partition has no
+// free frame, a victim is selected, displaced, and recursively placed
+// one group farther. Conservation of frames guarantees termination; the
+// worst case is nGroups-1 demotions (paper Sec. 2.2).
+func (c *Cache) place(set int32, way int8, g int) {
+	for {
+		if g >= len(c.groups) {
+			panic("nurapid: demotion ripple ran past the slowest d-group")
+		}
+		grp := c.groups[g]
+		p := c.partition(set)
+		if f := grp.takeFree(p); f != nilFrame {
+			grp.occupy(f, set, way)
+			c.tags.Line(int(set), int(way)).Aux = encodeFrame(g, f, c.framesPerGroup)
+			c.chargeAccess(g) // fill write, off the port's critical path
+			return
+		}
+		fv := grp.victim(p, c.cfg.Distance == LRUDistance, c.rng)
+		oldSet, oldWay := grp.replace(fv, set, way)
+		c.tags.Line(int(set), int(way)).Aux = encodeFrame(g, fv, c.framesPerGroup)
+		c.chargeAccess(g) // victim read
+		c.chargeAccess(g) // incoming write
+		c.port.Extend(2 * movementOccupancy)
+		c.ctrs.Inc("demotions")
+		set, way = oldSet, oldWay
+		g++
+	}
+}
+
+// Distribution implements memsys.LowerLevel.
+func (c *Cache) Distribution() *stats.Distribution { return c.dist }
+
+// EnergyNJ implements memsys.LowerLevel.
+func (c *Cache) EnergyNJ() float64 { return c.energy }
+
+// Counters implements memsys.LowerLevel.
+func (c *Cache) Counters() *stats.Counters {
+	c.ctrs.Set("port_wait_cycles", c.port.WaitCycles)
+	c.ctrs.Set("port_conflicts", c.port.Conflicts)
+	c.ctrs.Set("port_busy_cycles", c.port.BusyCycles)
+	return &c.ctrs
+}
+
+// GroupAccesses returns the number of data-array accesses per d-group —
+// the quantity behind the paper's "61% fewer d-group accesses than NUCA"
+// claim.
+func (c *Cache) GroupAccesses() []int64 {
+	out := make([]int64, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.accesses
+	}
+	return out
+}
+
+// GroupLatencies returns each d-group's serve latency in cycles.
+func (c *Cache) GroupLatencies() []int64 {
+	out := make([]int64, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.latency
+	}
+	return out
+}
+
+// GroupOf reports which d-group currently holds addr, or -1 when the
+// block is not resident. It has no side effects.
+func (c *Cache) GroupOf(addr uint64) int {
+	way, hit := c.tags.Lookup(addr)
+	if !hit {
+		return -1
+	}
+	g, _ := c.decodeFrame(c.tags.Line(c.geo.SetIndex(addr), way).Aux)
+	return g
+}
+
+// Contains reports whether addr is resident (no side effects).
+func (c *Cache) Contains(addr uint64) bool {
+	_, hit := c.tags.Lookup(addr)
+	return hit
+}
+
+// PointerBits returns the width of the forward/reverse pointers implied
+// by the configuration (Sec. 2.4.3): log2 of the number of distinct
+// frames a block may occupy across all d-groups.
+func (c *Cache) PointerBits() int {
+	reach := c.framesPerGroup
+	if c.cfg.RestrictFrames > 0 {
+		reach = c.cfg.RestrictFrames
+	}
+	return mathx.Log2(int64(reach*len(c.groups)-1)) + 1
+}
+
+// CheckInvariants verifies the forward/reverse pointer bijection and the
+// internal list structures; tests call it after random operation storms.
+func (c *Cache) CheckInvariants() error {
+	// Every valid tag entry's forward pointer must land on a frame whose
+	// reverse pointer points back.
+	validTags := 0
+	for set := 0; set < c.geo.NumSets(); set++ {
+		for way := 0; way < c.geo.Assoc; way++ {
+			l := c.tags.Line(set, way)
+			if !l.Valid {
+				continue
+			}
+			validTags++
+			g, f := c.decodeFrame(l.Aux)
+			if g < 0 || g >= len(c.groups) || int(f) >= c.framesPerGroup {
+				return fmt.Errorf("tag (%d,%d): forward pointer out of range", set, way)
+			}
+			m := c.groups[g].frames[f]
+			if !m.valid {
+				return fmt.Errorf("tag (%d,%d): forward pointer to empty frame %d/%d", set, way, g, f)
+			}
+			if int(m.set) != set || int(m.way) != way {
+				return fmt.Errorf("frame %d/%d reverse pointer (%d,%d) != tag (%d,%d)",
+					g, f, m.set, m.way, set, way)
+			}
+			if c.partition(int32(set)) != c.groups[g].partOf(f) {
+				return fmt.Errorf("tag (%d,%d) placed outside its partition", set, way)
+			}
+		}
+	}
+	// Every occupied frame must be claimed by exactly one tag entry;
+	// counting both directions establishes the bijection.
+	occupied := 0
+	for _, g := range c.groups {
+		if err := g.checkIntegrity(); err != nil {
+			return err
+		}
+		for f := range g.frames {
+			if g.frames[f].valid {
+				occupied++
+			}
+		}
+	}
+	if occupied != validTags {
+		return fmt.Errorf("%d occupied frames but %d valid tags", occupied, validTags)
+	}
+	return nil
+}
+
+var _ memsys.LowerLevel = (*Cache)(nil)

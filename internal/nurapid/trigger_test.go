@@ -1,0 +1,91 @@
+package nurapid
+
+import "testing"
+
+func TestPromotionTriggerDelaysPromotion(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.PromoteHits = 3 })
+	fillGroups(c, 2)
+	target := blockAddr(0)
+	g0 := c.GroupOf(target)
+	if g0 < 1 {
+		t.Fatalf("setup: block in d-group %d", g0)
+	}
+	// The first two hits must not promote; the third must.
+	c.Access(1e9, target, false)
+	if g := c.GroupOf(target); g != g0 {
+		t.Fatalf("after 1 hit block moved to %d", g)
+	}
+	c.Access(1e9+1000, target, false)
+	if g := c.GroupOf(target); g != g0 {
+		t.Fatalf("after 2 hits block moved to %d", g)
+	}
+	c.Access(1e9+2000, target, false)
+	if g := c.GroupOf(target); g != g0-1 {
+		t.Fatalf("after 3 hits block in %d, want %d", c.GroupOf(target), g0-1)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromotionTriggerResetsAfterMove(t *testing.T) {
+	c, _ := build(t, func(cfg *Config) { cfg.PromoteHits = 2 })
+	fillGroups(c, 3)
+	target := blockAddr(0)
+	g0 := c.GroupOf(target)
+	if g0 < 2 {
+		t.Fatalf("setup: block in d-group %d, want >= 2", g0)
+	}
+	// Two hits promote one group; the counter then restarts, so the
+	// next single hit must not promote again.
+	c.Access(1e9, target, false)
+	c.Access(1e9+1000, target, false)
+	if g := c.GroupOf(target); g != g0-1 {
+		t.Fatalf("after 2 hits block in %d, want %d", g, g0-1)
+	}
+	c.Access(1e9+2000, target, false)
+	if g := c.GroupOf(target); g != g0-1 {
+		t.Fatalf("3rd hit promoted early: block in %d", g)
+	}
+}
+
+func TestPromotionTriggerDefaultIsEveryHit(t *testing.T) {
+	// PromoteHits 0 and 1 both promote on the first hit.
+	for _, k := range []int{0, 1} {
+		c, _ := build(t, func(cfg *Config) { cfg.PromoteHits = k })
+		fillGroups(c, 2)
+		target := blockAddr(0)
+		g0 := c.GroupOf(target)
+		c.Access(1e9, target, false)
+		if g := c.GroupOf(target); g != g0-1 {
+			t.Fatalf("PromoteHits=%d: first hit did not promote (%d -> %d)", k, g0, g)
+		}
+	}
+}
+
+func TestPromotionTriggerValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PromoteHits = -1
+	if _, err := New(cfg, testModel(), testMemory()); err == nil {
+		t.Fatal("negative trigger must be rejected")
+	}
+	cfg.PromoteHits = 1000
+	if _, err := New(cfg, testModel(), testMemory()); err == nil {
+		t.Fatal("oversized trigger must be rejected")
+	}
+}
+
+func TestPromotionTriggerReducesSwaps(t *testing.T) {
+	run := func(k int) int64 {
+		c, _ := build(t, func(cfg *Config) { cfg.PromoteHits = k })
+		fillGroups(c, 3)
+		// Alternate over a window of demoted blocks.
+		for i := 0; i < 20000; i++ {
+			c.Access(1e9+int64(i)*100, blockAddr(i%4000), false)
+		}
+		return c.Counters().Get("promotions")
+	}
+	if s1, s4 := run(1), run(4); s4 >= s1 {
+		t.Fatalf("trigger=4 swaps (%d) must be below trigger=1 (%d)", s4, s1)
+	}
+}

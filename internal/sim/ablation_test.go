@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+func TestAblationExperiment(t *testing.T) {
+	r := smallRunner(t)
+	e := r.Ablation()
+	if e.ID != "ablation" {
+		t.Fatalf("id = %q", e.ID)
+	}
+	if e.Table.NumRows() != 7 {
+		t.Fatalf("rows = %d, want 7 variants", e.Table.NumRows())
+	}
+	for _, k := range []string{
+		"rel_nurapid_trigger_1_paper",
+		"rel_nurapid_trigger_2",
+		"rel_nurapid_10_bit_pointers",
+		"rel_dnuca_incremental",
+		"energy_dnuca_ss_performance",
+	} {
+		if _, ok := e.Metrics[k]; !ok {
+			t.Fatalf("metric %q missing; have %v", k, keys(e.Metrics))
+		}
+	}
+	// ss-performance multicasts every access; incremental must use less
+	// energy per instruction.
+	if e.Metrics["energy_dnuca_incremental"] >= e.Metrics["energy_dnuca_ss_performance"] {
+		t.Fatal("incremental search must use less energy than multicast")
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestAblationViaByID(t *testing.T) {
+	r := smallRunner(t)
+	e, err := r.ByID("ablation")
+	if err != nil || e.ID != "ablation" {
+		t.Fatalf("ByID(ablation): %v %v", e, err)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"nurapid trigger=1 (paper)": "nurapid_trigger_1_paper",
+		"dnuca ss-energy":           "dnuca_ss_energy",
+		"a  b":                      "a_b",
+		"trailing ":                 "trailing",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package sim assembles full-system simulations (workload generator ->
+// out-of-order core -> L1s -> lower-level organization -> memory) and
+// provides one driver per table and figure of the paper's evaluation.
+package sim
+
+import (
+	"fmt"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/cpu"
+	"nurapid/internal/energy"
+	"nurapid/internal/memsys"
+	"nurapid/internal/nuca"
+	"nurapid/internal/nurapid"
+	"nurapid/internal/stats"
+	"nurapid/internal/uca"
+	"nurapid/internal/vis"
+	"nurapid/internal/workload"
+)
+
+// L2Factory builds one lower-level organization against a fresh memory.
+type L2Factory func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel
+
+// Organization pairs a short key with a factory; the experiments select
+// organizations by key.
+type Organization struct {
+	Key     string
+	Factory L2Factory
+}
+
+// Base returns the conventional L2/L3 hierarchy (the paper's base case).
+func Base() Organization {
+	return Organization{Key: "base", Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+		return uca.NewHierarchy(m, mem)
+	}}
+}
+
+// Ideal returns the constant-fastest-latency bound of Figure 6.
+func Ideal() Organization {
+	return Organization{Key: "ideal", Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+		return uca.NewIdeal(m, mem)
+	}}
+}
+
+// NuRAPID returns a NuRAPID organization with the given configuration.
+func NuRAPID(cfg nurapid.Config) Organization {
+	key := fmt.Sprintf("nurapid-%dg-%s-%s", cfg.NumDGroups, cfg.Promotion, cfg.Distance)
+	if cfg.Placement == nurapid.SetAssociative {
+		key += "-sa"
+	}
+	if cfg.RestrictFrames > 0 {
+		key += fmt.Sprintf("-r%d", cfg.RestrictFrames)
+	}
+	if cfg.PromoteHits > 1 {
+		key += fmt.Sprintf("-t%d", cfg.PromoteHits)
+	}
+	return Organization{Key: key, Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+		return nurapid.MustNew(cfg, m, mem)
+	}}
+}
+
+// DNUCA returns a D-NUCA organization with the given configuration.
+func DNUCA(cfg nuca.Config) Organization {
+	return Organization{Key: "dnuca-" + cfg.Policy.String(), Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+		return nuca.MustNew(cfg, m, mem)
+	}}
+}
+
+// RunResult captures everything the experiments need from one run.
+type RunResult struct {
+	App string
+	Org string
+
+	CPU cpu.Result
+
+	L2Dist          *stats.Distribution
+	L2Ctrs          stats.Counters
+	L2GroupAccesses []int64 // nil for organizations without the concept
+
+	L2EnergyNJ  float64
+	MemEnergyNJ float64
+	MemAccesses int64
+
+	Energy energy.Breakdown
+	ED     float64
+}
+
+// Runner executes and memoizes simulations so experiments sharing a
+// configuration (every figure needs the base runs) pay for it once.
+type Runner struct {
+	Model        *cacti.Model
+	Instructions int64
+	Seed         uint64
+	Apps         []workload.App
+
+	// Progress, when non-nil, receives a line per completed run.
+	Progress func(string)
+
+	memo map[string]*RunResult
+}
+
+// NewRunner builds a runner over the paper's 15-application roster.
+func NewRunner(instructions int64, seed uint64) *Runner {
+	return &Runner{
+		Model:        cacti.Default(),
+		Instructions: instructions,
+		Seed:         seed,
+		Apps:         workload.Apps(),
+		memo:         make(map[string]*RunResult),
+	}
+}
+
+// Run simulates app on org, memoized on (app, org key).
+func (r *Runner) Run(app workload.App, org Organization) *RunResult {
+	key := app.Name + "/" + org.Key
+	if res, ok := r.memo[key]; ok {
+		return res
+	}
+	mem := memsys.NewMemory(128)
+	l2 := org.Factory(r.Model, mem)
+	core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
+	gen := workload.MustNewGenerator(app, r.Seed)
+	cres := core.Run(gen, r.Instructions)
+
+	params := energy.DefaultParams(r.Model)
+	bd := params.Collect(cres.Cycles, cres.Instructions,
+		cres.L1DAccesses+cres.L1IAccesses, l2.EnergyNJ(), mem.EnergyNJ())
+
+	res := &RunResult{
+		App:         app.Name,
+		Org:         org.Key,
+		CPU:         cres,
+		L2Dist:      l2.Distribution(),
+		L2EnergyNJ:  l2.EnergyNJ(),
+		MemEnergyNJ: mem.EnergyNJ(),
+		MemAccesses: mem.Accesses,
+		Energy:      bd,
+		ED:          energy.EnergyDelay(bd.TotalNJ(), cres.Cycles),
+	}
+	for _, name := range l2.Counters().Names() {
+		res.L2Ctrs.Add(name, l2.Counters().Get(name))
+	}
+	if nc, ok := l2.(*nurapid.Cache); ok {
+		res.L2GroupAccesses = nc.GroupAccesses()
+	}
+	r.memo[key] = res
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %-8s on %-32s IPC=%.3f APKI=%.1f",
+			app.Name, org.Key, cres.IPC, cres.APKI))
+	}
+	return res
+}
+
+// RelPerf returns org's performance relative to the base hierarchy for
+// app (cycles_base / cycles_org; > 1 means faster than base).
+func (r *Runner) RelPerf(app workload.App, org Organization) float64 {
+	base := r.Run(app, Base())
+	o := r.Run(app, org)
+	if o.CPU.Cycles == 0 {
+		return 0
+	}
+	return float64(base.CPU.Cycles) / float64(o.CPU.Cycles)
+}
+
+// Experiment is one regenerated table or figure: a printable table plus
+// the headline metrics benches and EXPERIMENTS.md report, and (for the
+// figures) a text chart in the paper's visual style.
+type Experiment struct {
+	ID      string
+	Caption string
+	Table   *stats.Table
+	// Chart, when non-nil, renders the figure's series as a text chart.
+	Chart vis.Chart
+	// Metrics holds the experiment's headline numbers, keyed by a short
+	// slug (e.g. "avg_rel_perf_next_fastest").
+	Metrics map[string]float64
+}
+
+// standard NuRAPID configurations used across experiments.
+func nurapidCfg(groups int, prom nurapid.Promotion, dist nurapid.DistancePolicy) nurapid.Config {
+	cfg := nurapid.DefaultConfig()
+	cfg.NumDGroups = groups
+	cfg.Promotion = prom
+	cfg.Distance = dist
+	return cfg
+}
+
+// mean is arithmetic mean over a slice (the paper's "on average").
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+
+	"nurapid/internal/cpu"
+	"nurapid/internal/memsys"
+	"nurapid/internal/nuca"
+	"nurapid/internal/nurapid"
+	"nurapid/internal/stats"
+	"nurapid/internal/workload"
+)
+
+// CapacitySweep extends the paper's design space along total cache
+// capacity: a 4-, 8- (the paper), and 16-MB NuRAPID, each with 2-MB
+// d-groups, against the fixed base hierarchy. The wire model scales the
+// d-group latencies with the floorplan, so bigger caches pay for their
+// slower far groups.
+func (r *Runner) CapacitySweep() *Experiment {
+	t := stats.NewTable("Capacity sweep: NuRAPID with 2-MB d-groups vs the 8-MB base hierarchy",
+		"benchmark", "4 MB", "8 MB (paper)", "16 MB")
+	capacities := []struct {
+		mb     int
+		groups int
+	}{{4, 2}, {8, 4}, {16, 8}}
+	rel := map[int][]float64{}
+	for _, app := range r.Apps {
+		row := []any{app.Name}
+		for _, c := range capacities {
+			cfg := nurapid.DefaultConfig()
+			cfg.CapacityBytes = int64(c.mb) << 20
+			cfg.NumDGroups = c.groups
+			org := NuRAPID(cfg)
+			org.Key = fmt.Sprintf("%s-%dmb", org.Key, c.mb)
+			p := r.RelPerf(app, org)
+			row = append(row, p)
+			rel[c.mb] = append(rel[c.mb], p)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("AVERAGE", mean(rel[4]), mean(rel[8]), mean(rel[16]))
+	return &Experiment{ID: "sweep-capacity", Caption: "Capacity sensitivity", Table: t,
+		Metrics: map[string]float64{
+			"rel_4mb":  mean(rel[4]),
+			"rel_8mb":  mean(rel[8]),
+			"rel_16mb": mean(rel[16]),
+		}}
+}
+
+// BlockSweep varies the NuRAPID block size (64, 128, 256 bytes). Because
+// the base hierarchy is defined at 128-B blocks, this sweep reports the
+// absolute behaviour of each variant — IPC, L2 accesses per
+// kilo-instruction, and miss rate — rather than relative performance.
+func (r *Runner) BlockSweep() *Experiment {
+	t := stats.NewTable("Block-size sweep: 8-MB, 4-d-group NuRAPID",
+		"benchmark", "block", "IPC", "APKI", "miss rate")
+	ipc := map[int][]float64{}
+	miss := map[int][]float64{}
+	for _, app := range r.Apps {
+		for _, bb := range []int{64, 128, 256} {
+			res := r.runBlockVariant(app, bb)
+			t.AddRow(app.Name, fmt.Sprintf("%d B", bb),
+				res.CPU.IPC, res.CPU.APKI, stats.Percent(res.L2Dist.MissFrac()))
+			ipc[bb] = append(ipc[bb], res.CPU.IPC)
+			miss[bb] = append(miss[bb], res.L2Dist.MissFrac())
+		}
+	}
+	for _, bb := range []int{64, 128, 256} {
+		t.AddRow("AVERAGE", fmt.Sprintf("%d B", bb), mean(ipc[bb]), "-", stats.Percent(mean(miss[bb])))
+	}
+	return &Experiment{ID: "sweep-block", Caption: "Block-size sensitivity", Table: t,
+		Metrics: map[string]float64{
+			"ipc_64":   mean(ipc[64]),
+			"ipc_128":  mean(ipc[128]),
+			"ipc_256":  mean(ipc[256]),
+			"miss_64":  mean(miss[64]),
+			"miss_256": mean(miss[256]),
+		}}
+}
+
+// TechSweep models the paper's motivating trend — global wires slowing
+// relative to logic across technology generations — by scaling the
+// model's wire delay and energy 1x (the calibrated 70-nm point), 1.5x,
+// and 2x, and comparing NuRAPID directly against D-NUCA at each point.
+// Both organizations' latencies derive from the same scaled model, so
+// the ratio isolates how each design tolerates wire-dominated caches.
+func (r *Runner) TechSweep() *Experiment {
+	t := stats.NewTable("Technology sweep: NuRAPID-4g cycles relative to D-NUCA (higher = NuRAPID faster)",
+		"benchmark", "wires 1.0x (70nm)", "wires 1.5x", "wires 2.0x")
+	scales := []float64{1.0, 1.5, 2.0}
+	rel := map[float64][]float64{}
+	for _, app := range r.Apps {
+		row := []any{app.Name}
+		for _, s := range scales {
+			nu := r.runScaledVariant(app, s, true)
+			dn := r.runScaledVariant(app, s, false)
+			ratio := float64(dn.CPU.Cycles) / float64(nu.CPU.Cycles)
+			row = append(row, ratio)
+			rel[s] = append(rel[s], ratio)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("AVERAGE", mean(rel[1.0]), mean(rel[1.5]), mean(rel[2.0]))
+	return &Experiment{ID: "sweep-tech", Caption: "Wire-delay scaling", Table: t,
+		Metrics: map[string]float64{
+			"vs_dnuca_1.0x": mean(rel[1.0]),
+			"vs_dnuca_1.5x": mean(rel[1.5]),
+			"vs_dnuca_2.0x": mean(rel[2.0]),
+		}}
+}
+
+// runScaledVariant runs one app on NuRAPID or D-NUCA built from a
+// wire-scaled model (memoized).
+func (r *Runner) runScaledVariant(app workload.App, scale float64, isNurapid bool) *RunResult {
+	org := "dnuca"
+	if isNurapid {
+		org = "nurapid"
+	}
+	key := fmt.Sprintf("%s/techsweep-%s-%.2f", app.Name, org, scale)
+	if res, ok := r.memo[key]; ok {
+		return res
+	}
+	model := r.Model.Scaled(scale)
+	mem := memsys.NewMemory(128)
+	var l2 memsys.LowerLevel
+	if isNurapid {
+		l2 = nurapid.MustNew(nurapid.DefaultConfig(), model, mem)
+	} else {
+		l2 = nuca.MustNew(nuca.DefaultConfig(), model, mem)
+	}
+	core := cpu.MustNew(cpu.DefaultConfig(), l2, model.L1NJ)
+	cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
+	res := &RunResult{
+		App:         app.Name,
+		Org:         fmt.Sprintf("%s-wire%.2fx", org, scale),
+		CPU:         cres,
+		L2Dist:      l2.Distribution(),
+		L2EnergyNJ:  l2.EnergyNJ(),
+		MemEnergyNJ: mem.EnergyNJ(),
+		MemAccesses: mem.Accesses,
+	}
+	r.memo[key] = res
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %-8s on %-32s IPC=%.3f", app.Name, res.Org, cres.IPC))
+	}
+	return res
+}
+
+// runBlockVariant runs one app on a NuRAPID with a non-default block
+// size (memoized). The memory model's transfer charge scales with the
+// block, so bigger blocks pay longer fills.
+func (r *Runner) runBlockVariant(app workload.App, blockBytes int) *RunResult {
+	key := fmt.Sprintf("%s/blocksweep-%d", app.Name, blockBytes)
+	if res, ok := r.memo[key]; ok {
+		return res
+	}
+	cfg := nurapid.DefaultConfig()
+	cfg.BlockBytes = blockBytes
+	mem := memsys.NewMemory(blockBytes)
+	l2 := nurapid.MustNew(cfg, r.Model, mem)
+	core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
+	cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
+	res := &RunResult{
+		App:         app.Name,
+		Org:         fmt.Sprintf("nurapid-block%d", blockBytes),
+		CPU:         cres,
+		L2Dist:      l2.Distribution(),
+		L2EnergyNJ:  l2.EnergyNJ(),
+		MemEnergyNJ: mem.EnergyNJ(),
+		MemAccesses: mem.Accesses,
+	}
+	r.memo[key] = res
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %-8s on %-32s IPC=%.3f APKI=%.1f",
+			app.Name, res.Org, cres.IPC, cres.APKI))
+	}
+	return res
+}

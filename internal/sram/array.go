@@ -1,0 +1,255 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes the physical organization of one d-group's data array.
+type Config struct {
+	CapacityBytes  int64 // total data capacity, e.g. 2 MB
+	SubarrayKB     int   // nominal subarray size, e.g. 16 KB (Itanium-II-like)
+	BlockBytes     int   // cache block size, e.g. 128
+	SpareSubarrays int   // spares shared by the whole d-group
+	Interleave     int   // ECC words bit-interleaved per subarray row
+}
+
+// DefaultConfig is a 2-MB d-group built from 16-KB subarrays with 2
+// spares, 128-B blocks, and 8-way column interleaving, mirroring the
+// Itanium II L3 organization the paper cites.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes:  2 << 20,
+		SubarrayKB:     16,
+		BlockBytes:     128,
+		SpareSubarrays: 2,
+		Interleave:     8,
+	}
+}
+
+type word struct {
+	data  uint64
+	check uint8
+}
+
+// Array is one d-group's physical data array: many subarrays, a fuse map
+// remapping defective subarrays onto spares, and SECDED-protected words
+// spread so that each word of a block sits in a different subarray.
+type Array struct {
+	cfg Config
+
+	wordsPerBlock int // block words, each in a distinct subarray of its group
+	numGroups     int // row groups: sets of wordsPerBlock subarrays
+	blocksPerGrp  int
+	rowsPerSub    int // rows per subarray; each row holds Interleave words
+
+	dataSubs  int   // logical data subarrays
+	remap     []int // logical -> physical subarray (the fuse map)
+	defective []bool
+	spares    []int // free physical spare subarray ids
+
+	store [][]word // physical subarray -> row-major word storage
+}
+
+// New validates the configuration and builds the array.
+func New(cfg Config) (*Array, error) {
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes%8 != 0 {
+		return nil, fmt.Errorf("sram: block size %d must be a positive multiple of 8", cfg.BlockBytes)
+	}
+	if cfg.CapacityBytes <= 0 || cfg.CapacityBytes%int64(cfg.BlockBytes) != 0 {
+		return nil, fmt.Errorf("sram: capacity %d not a multiple of block size", cfg.CapacityBytes)
+	}
+	if cfg.Interleave <= 0 {
+		return nil, errors.New("sram: interleave must be positive")
+	}
+	if cfg.SubarrayKB <= 0 {
+		return nil, errors.New("sram: subarray size must be positive")
+	}
+	w := cfg.BlockBytes / 8
+	subBytes := int64(cfg.SubarrayKB) * 1024
+	dataSubs := int(cfg.CapacityBytes / subBytes)
+	if dataSubs < w || dataSubs%w != 0 {
+		return nil, fmt.Errorf("sram: %d subarrays cannot host %d-word blocks", dataSubs, w)
+	}
+	groups := dataSubs / w
+	blocks := int(cfg.CapacityBytes) / cfg.BlockBytes
+	if blocks%groups != 0 {
+		return nil, fmt.Errorf("sram: %d blocks do not divide into %d row groups", blocks, groups)
+	}
+	perGroup := blocks / groups
+	if perGroup%cfg.Interleave != 0 {
+		return nil, fmt.Errorf("sram: %d blocks per group not a multiple of interleave %d", perGroup, cfg.Interleave)
+	}
+	rows := perGroup / cfg.Interleave
+
+	total := dataSubs + cfg.SpareSubarrays
+	a := &Array{
+		cfg:           cfg,
+		wordsPerBlock: w,
+		numGroups:     groups,
+		blocksPerGrp:  perGroup,
+		rowsPerSub:    rows,
+		dataSubs:      dataSubs,
+		remap:         make([]int, dataSubs),
+		defective:     make([]bool, total),
+		store:         make([][]word, total),
+	}
+	for i := range a.remap {
+		a.remap[i] = i
+	}
+	for s := dataSubs; s < total; s++ {
+		a.spares = append(a.spares, s)
+	}
+	for s := range a.store {
+		a.store[s] = make([]word, rows*cfg.Interleave)
+	}
+	return a, nil
+}
+
+// NumBlocks returns the number of cache blocks the array stores.
+func (a *Array) NumBlocks() int { return a.numGroups * a.blocksPerGrp }
+
+// NumDataSubarrays returns the number of logical (non-spare) subarrays.
+func (a *Array) NumDataSubarrays() int { return a.dataSubs }
+
+// SparesRemaining returns how many spare subarrays are still unused.
+func (a *Array) SparesRemaining() int { return len(a.spares) }
+
+// loc computes the physical coordinates of word w of block b.
+func (a *Array) loc(b, w int) (phys, row, col int) {
+	if b < 0 || b >= a.NumBlocks() {
+		panic(fmt.Sprintf("sram: block %d out of range", b))
+	}
+	if w < 0 || w >= a.wordsPerBlock {
+		panic(fmt.Sprintf("sram: word %d out of range", w))
+	}
+	group := b % a.numGroups
+	slot := b / a.numGroups
+	row = slot / a.cfg.Interleave
+	col = slot % a.cfg.Interleave
+	logical := group*a.wordsPerBlock + w
+	return a.remap[logical], row, col
+}
+
+// BlockSubarrays returns the distinct physical subarrays holding block b,
+// in word order. Every word of a block lives in its own subarray; this is
+// the spreading property Sec. 3.1 of the paper describes.
+func (a *Array) BlockSubarrays(b int) []int {
+	out := make([]int, a.wordsPerBlock)
+	for w := range out {
+		out[w], _, _ = a.loc(b, w)
+	}
+	return out
+}
+
+// WriteBlock stores data (exactly BlockBytes long, little-endian words)
+// into block b, ECC-encoding every word.
+func (a *Array) WriteBlock(b int, data []byte) error {
+	if len(data) != a.cfg.BlockBytes {
+		return fmt.Errorf("sram: block payload %d bytes, want %d", len(data), a.cfg.BlockBytes)
+	}
+	for w := 0; w < a.wordsPerBlock; w++ {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(data[w*8+i]) << uint(8*i)
+		}
+		phys, row, col := a.loc(b, w)
+		a.store[phys][row*a.cfg.Interleave+col] = word{data: v, check: ECCEncode(v)}
+	}
+	return nil
+}
+
+// ReadBlock fetches block b, ECC-decoding every word. It returns the
+// (possibly corrected) payload and the worst decode status seen.
+func (a *Array) ReadBlock(b int) ([]byte, ECCStatus, error) {
+	out := make([]byte, a.cfg.BlockBytes)
+	worst := ECCClean
+	for w := 0; w < a.wordsPerBlock; w++ {
+		phys, row, col := a.loc(b, w)
+		wd := a.store[phys][row*a.cfg.Interleave+col]
+		v, st := ECCDecode(wd.data, wd.check)
+		if st > worst {
+			worst = st
+		}
+		for i := 0; i < 8; i++ {
+			out[w*8+i] = byte(v >> uint(8*i))
+		}
+	}
+	if worst == ECCUncorrectable {
+		return out, worst, errors.New("sram: uncorrectable error in block")
+	}
+	return out, worst, nil
+}
+
+// MarkDefective records a hard failure of physical subarray phys and
+// remaps every logical subarray using it onto a spare (blowing a fuse, in
+// hardware terms). Stored contents are migrated, modeling the repair
+// performed at test time before the array is filled. It fails when no
+// spares remain. Spares are shared across the whole d-group — the
+// property small NUCA d-groups lose.
+func (a *Array) MarkDefective(phys int) error {
+	if phys < 0 || phys >= len(a.store) {
+		return fmt.Errorf("sram: subarray %d out of range", phys)
+	}
+	if a.defective[phys] {
+		return nil // already fused out
+	}
+	a.defective[phys] = true
+	inUse := false
+	for logical, p := range a.remap {
+		if p != phys {
+			continue
+		}
+		inUse = true
+		if len(a.spares) == 0 {
+			return errors.New("sram: no spare subarrays remaining")
+		}
+		spare := a.spares[0]
+		a.spares = a.spares[1:]
+		copy(a.store[spare], a.store[phys])
+		a.remap[logical] = spare
+	}
+	_ = inUse // an unused spare failing needs no remap
+	return nil
+}
+
+// IsDefective reports whether physical subarray phys has been fused out.
+func (a *Array) IsDefective(phys int) bool {
+	return phys >= 0 && phys < len(a.defective) && a.defective[phys]
+}
+
+// Strike emulates an alpha-particle hit flipping width adjacent physical
+// bits of one subarray row, starting at bit offset start. Within a row,
+// the Interleave ECC words are bit-interleaved (physical bit p belongs to
+// word p mod Interleave), so a strike of width <= Interleave corrupts at
+// most one bit in any ECC word and is always correctable on read.
+func (a *Array) Strike(phys, row, start, width int) error {
+	if phys < 0 || phys >= len(a.store) {
+		return fmt.Errorf("sram: subarray %d out of range", phys)
+	}
+	if row < 0 || row >= a.rowsPerSub {
+		return fmt.Errorf("sram: row %d out of range", row)
+	}
+	rowBits := a.cfg.Interleave * 72
+	if start < 0 || width <= 0 || start+width > rowBits {
+		return fmt.Errorf("sram: strike [%d,%d) outside row of %d bits", start, start+width, rowBits)
+	}
+	base := row * a.cfg.Interleave
+	for p := start; p < start+width; p++ {
+		col := p % a.cfg.Interleave
+		bit := p / a.cfg.Interleave // codeword bit index, 0..71
+		w := &a.store[phys][base+col]
+		if bit < 64 {
+			w.data ^= 1 << uint(bit)
+		} else {
+			w.check ^= 1 << uint(bit-64)
+		}
+	}
+	return nil
+}
+
+// RowsPerSubarray returns the number of rows in each subarray.
+func (a *Array) RowsPerSubarray() int { return a.rowsPerSub }
+
+// Interleave returns the number of ECC words bit-interleaved per row.
+func (a *Array) Interleave() int { return a.cfg.Interleave }

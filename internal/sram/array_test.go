@@ -1,0 +1,256 @@
+package sram
+
+import (
+	"bytes"
+	"testing"
+
+	"nurapid/internal/mathx"
+)
+
+func testArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func randomBlock(rng *mathx.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{CapacityBytes: 2 << 20, SubarrayKB: 16, BlockBytes: 0, Interleave: 8},
+		{CapacityBytes: 2 << 20, SubarrayKB: 16, BlockBytes: 100, Interleave: 8},
+		{CapacityBytes: 0, SubarrayKB: 16, BlockBytes: 128, Interleave: 8},
+		{CapacityBytes: 2 << 20, SubarrayKB: 0, BlockBytes: 128, Interleave: 8},
+		{CapacityBytes: 2 << 20, SubarrayKB: 16, BlockBytes: 128, Interleave: 0},
+		// Too few subarrays for 16-word spreading.
+		{CapacityBytes: 64 << 10, SubarrayKB: 16, BlockBytes: 128, Interleave: 8},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d must be rejected", i)
+		}
+	}
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	a := testArray(t)
+	if a.NumBlocks() != (2<<20)/128 {
+		t.Fatalf("NumBlocks = %d", a.NumBlocks())
+	}
+	if a.NumDataSubarrays() != 128 {
+		t.Fatalf("data subarrays = %d, want 128", a.NumDataSubarrays())
+	}
+	if a.SparesRemaining() != 2 {
+		t.Fatalf("spares = %d, want 2", a.SparesRemaining())
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	a := testArray(t)
+	rng := mathx.NewRNG(1)
+	blocks := []int{0, 1, 7, 1000, a.NumBlocks() - 1}
+	payloads := make(map[int][]byte)
+	for _, b := range blocks {
+		p := randomBlock(rng, 128)
+		payloads[b] = p
+		if err := a.WriteBlock(b, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range blocks {
+		got, st, err := a.ReadBlock(b)
+		if err != nil || st != ECCClean {
+			t.Fatalf("block %d: err=%v status=%v", b, err, st)
+		}
+		if !bytes.Equal(got, payloads[b]) {
+			t.Fatalf("block %d payload mismatch", b)
+		}
+	}
+}
+
+func TestWriteBlockRejectsBadSize(t *testing.T) {
+	a := testArray(t)
+	if err := a.WriteBlock(0, make([]byte, 64)); err == nil {
+		t.Fatal("short payload must be rejected")
+	}
+}
+
+func TestBlockSpreadAcrossSubarrays(t *testing.T) {
+	// Sec. 3.1: every word of a block sits in a distinct subarray.
+	a := testArray(t)
+	for _, b := range []int{0, 5, 4095} {
+		subs := a.BlockSubarrays(b)
+		seen := make(map[int]bool)
+		for _, s := range subs {
+			if seen[s] {
+				t.Fatalf("block %d reuses subarray %d", b, s)
+			}
+			seen[s] = true
+		}
+		if len(subs) != 16 {
+			t.Fatalf("block %d spread over %d subarrays, want 16", b, len(subs))
+		}
+	}
+}
+
+func TestSpareRemapTransparent(t *testing.T) {
+	a := testArray(t)
+	rng := mathx.NewRNG(2)
+	p := randomBlock(rng, 128)
+	if err := a.WriteBlock(42, p); err != nil {
+		t.Fatal(err)
+	}
+	victim := a.BlockSubarrays(42)[3]
+	if err := a.MarkDefective(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsDefective(victim) {
+		t.Fatal("victim must be recorded defective")
+	}
+	if a.SparesRemaining() != 1 {
+		t.Fatalf("spares = %d, want 1", a.SparesRemaining())
+	}
+	// The block must now avoid the defective subarray and read back clean.
+	for _, s := range a.BlockSubarrays(42) {
+		if s == victim {
+			t.Fatal("block still mapped onto defective subarray")
+		}
+	}
+	got, st, err := a.ReadBlock(42)
+	if err != nil || st != ECCClean || !bytes.Equal(got, p) {
+		t.Fatalf("post-remap read: err=%v status=%v match=%v", err, st, bytes.Equal(got, p))
+	}
+}
+
+func TestSpareSharingAcrossRowGroups(t *testing.T) {
+	// The spares are a shared pool: failures in subarrays of different
+	// row groups both get remapped, which is exactly what NUCA's small
+	// independent d-groups cannot do (Sec. 3.2).
+	a := testArray(t)
+	s0 := a.BlockSubarrays(0)[0] // row group 0
+	s1 := a.BlockSubarrays(1)[0] // row group 1
+	if err := a.MarkDefective(s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkDefective(s1); err != nil {
+		t.Fatal(err)
+	}
+	if a.SparesRemaining() != 0 {
+		t.Fatalf("spares = %d, want 0", a.SparesRemaining())
+	}
+}
+
+func TestSpareExhaustion(t *testing.T) {
+	a := testArray(t)
+	if err := a.MarkDefective(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkDefective(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkDefective(2); err == nil {
+		t.Fatal("third failure must exhaust the 2 spares")
+	}
+}
+
+func TestMarkDefectiveIdempotent(t *testing.T) {
+	a := testArray(t)
+	if err := a.MarkDefective(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkDefective(5); err != nil {
+		t.Fatal("re-marking the same subarray must be a no-op")
+	}
+	if a.SparesRemaining() != 1 {
+		t.Fatalf("spares = %d, want 1", a.SparesRemaining())
+	}
+}
+
+func TestMarkDefectiveOutOfRange(t *testing.T) {
+	a := testArray(t)
+	if err := a.MarkDefective(-1); err == nil {
+		t.Fatal("negative subarray must error")
+	}
+	if err := a.MarkDefective(10000); err == nil {
+		t.Fatal("out-of-range subarray must error")
+	}
+}
+
+func TestStrikeWithinInterleaveIsCorrected(t *testing.T) {
+	// Sec. 3.1: because adjacent row bits belong to different ECC words,
+	// a strike no wider than the interleave is always correctable.
+	a := testArray(t)
+	rng := mathx.NewRNG(3)
+	p := randomBlock(rng, 128)
+	if err := a.WriteBlock(7, p); err != nil {
+		t.Fatal(err)
+	}
+	phys, row := a.BlockSubarrays(7)[0], 0
+	// Block 7: group=7%8, slot=0 -> row 0. Strike the full interleave width.
+	if err := a.Strike(phys, row, 10, a.Interleave()); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := a.ReadBlock(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == ECCUncorrectable {
+		t.Fatal("strike within interleave width must be correctable")
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("corrected payload mismatch")
+	}
+}
+
+func TestWideStrikeIsDetectedNotMiscorrected(t *testing.T) {
+	a := testArray(t)
+	rng := mathx.NewRNG(4)
+	p := randomBlock(rng, 128)
+	if err := a.WriteBlock(7, p); err != nil {
+		t.Fatal(err)
+	}
+	phys := a.BlockSubarrays(7)[0]
+	// Twice the interleave width: two bits flip in at least one word.
+	if err := a.Strike(phys, 0, 0, 2*a.Interleave()); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := a.ReadBlock(7)
+	if st != ECCUncorrectable || err == nil {
+		t.Fatalf("wide strike: status=%v err=%v, want uncorrectable+error", st, err)
+	}
+}
+
+func TestStrikeValidation(t *testing.T) {
+	a := testArray(t)
+	if err := a.Strike(-1, 0, 0, 1); err == nil {
+		t.Fatal("bad subarray must error")
+	}
+	if err := a.Strike(0, a.RowsPerSubarray(), 0, 1); err == nil {
+		t.Fatal("bad row must error")
+	}
+	if err := a.Strike(0, 0, 0, 0); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if err := a.Strike(0, 0, a.Interleave()*72, 1); err == nil {
+		t.Fatal("out-of-row strike must error")
+	}
+}
+
+func TestLocPanicsOutOfRange(t *testing.T) {
+	a := testArray(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block must panic")
+		}
+	}()
+	a.BlockSubarrays(a.NumBlocks())
+}

@@ -1,0 +1,139 @@
+// Package sram models the physical organization of large cache data
+// arrays: many SRAM subarrays with blocks spread across them, spare
+// subarrays remapped over defective ones by fuse maps, and SECDED ECC
+// whose words are interleaved so one particle strike touches at most one
+// bit per ECC word.
+//
+// Section 3 of the paper argues that NuRAPID's few large d-groups retain
+// these conventional-large-cache advantages while D-NUCA's many small
+// independent d-groups cannot (spares and row addresses cannot be shared
+// across d-groups with different latencies). This package makes that
+// argument executable: the tests demonstrate spare sharing within a
+// large d-group and strike tolerance under word spreading.
+package sram
+
+import "fmt"
+
+// ECCStatus reports the outcome of decoding one protected word.
+type ECCStatus int
+
+const (
+	// ECCClean means no error was present.
+	ECCClean ECCStatus = iota
+	// ECCCorrected means a single-bit error was detected and repaired.
+	ECCCorrected
+	// ECCUncorrectable means a double-bit error was detected; data is lost.
+	ECCUncorrectable
+)
+
+func (s ECCStatus) String() string {
+	switch s {
+	case ECCClean:
+		return "clean"
+	case ECCCorrected:
+		return "corrected"
+	case ECCUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("ECCStatus(%d)", int(s))
+	}
+}
+
+// The code is an extended Hamming SECDED(72,64): 64 data bits, 7 Hamming
+// check bits at codeword positions 1,2,4,...,64, and one overall parity
+// bit at position 0. Data bits fill the remaining positions 3..71.
+
+// dataPos[i] is the codeword position of data bit i.
+var dataPos [64]int
+
+// posData[p] is the data bit stored at codeword position p, or -1.
+var posData [72]int
+
+func init() {
+	for i := range posData {
+		posData[i] = -1
+	}
+	d := 0
+	for p := 1; p < 72; p++ {
+		if p&(p-1) == 0 { // power of two: check bit
+			continue
+		}
+		dataPos[d] = p
+		posData[p] = d
+		d++
+	}
+	if d != 64 {
+		panic("sram: ECC layout error")
+	}
+}
+
+// ECCEncode computes the 8 check bits (7 Hamming + overall parity in bit
+// 7) protecting the 64-bit word.
+func ECCEncode(data uint64) uint8 {
+	var syndrome int
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			syndrome ^= dataPos[i]
+			ones++
+		}
+	}
+	// Hamming check bit k (at position 1<<k) is bit k of the syndrome.
+	var check uint8
+	for k := 0; k < 7; k++ {
+		if syndrome>>uint(k)&1 == 1 {
+			check |= 1 << uint(k)
+			ones++
+		}
+	}
+	// Overall parity over all 72 bits (positions 0..71) must be even.
+	if ones%2 == 1 {
+		check |= 1 << 7
+	}
+	return check
+}
+
+// ECCDecode checks and, when possible, corrects a received (data, check)
+// pair. It returns the corrected data and the decode status. For
+// ECCUncorrectable the returned data is the raw input.
+func ECCDecode(data uint64, check uint8) (uint64, ECCStatus) {
+	var syndrome int
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			syndrome ^= dataPos[i]
+			ones++
+		}
+	}
+	for k := 0; k < 7; k++ {
+		if check>>uint(k)&1 == 1 {
+			syndrome ^= 1 << uint(k)
+			ones++
+		}
+	}
+	parityStored := check>>7&1 == 1
+	parityComputed := ones%2 == 1
+	parityErr := parityStored != parityComputed
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return data, ECCClean
+	case parityErr:
+		// Odd number of flipped bits; with SECDED's guarantee, one.
+		if syndrome == 0 {
+			// The overall parity bit itself flipped; data is intact.
+			return data, ECCCorrected
+		}
+		if syndrome < 72 {
+			if d := posData[syndrome]; d >= 0 {
+				return data ^ 1<<uint(d), ECCCorrected
+			}
+			// A check bit flipped; data is intact.
+			return data, ECCCorrected
+		}
+		return data, ECCUncorrectable
+	default:
+		// syndrome != 0 with even parity: double-bit error.
+		return data, ECCUncorrectable
+	}
+}

@@ -1,0 +1,111 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nurapid/internal/mathx"
+)
+
+func TestECCCleanRoundtrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEBABE, 1 << 63} {
+		check := ECCEncode(v)
+		got, st := ECCDecode(v, check)
+		if st != ECCClean || got != v {
+			t.Fatalf("clean decode of %#x: got %#x status %v", v, got, st)
+		}
+	}
+}
+
+func TestECCCorrectsEverySingleDataBit(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		v := rng.Uint64()
+		check := ECCEncode(v)
+		for bit := 0; bit < 64; bit++ {
+			got, st := ECCDecode(v^1<<uint(bit), check)
+			if st != ECCCorrected {
+				t.Fatalf("data bit %d flip: status %v", bit, st)
+			}
+			if got != v {
+				t.Fatalf("data bit %d flip: decoded %#x, want %#x", bit, got, v)
+			}
+		}
+	}
+}
+
+func TestECCCorrectsEverySingleCheckBit(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		v := rng.Uint64()
+		check := ECCEncode(v)
+		for bit := 0; bit < 8; bit++ {
+			got, st := ECCDecode(v, check^1<<uint(bit))
+			if st != ECCCorrected {
+				t.Fatalf("check bit %d flip: status %v", bit, st)
+			}
+			if got != v {
+				t.Fatalf("check bit %d flip: decoded %#x, want %#x", bit, got, v)
+			}
+		}
+	}
+}
+
+func TestECCDetectsDoubleErrors(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Uint64()
+		check := ECCEncode(v)
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		for b2 == b1 {
+			b2 = rng.Intn(64)
+		}
+		_, st := ECCDecode(v^1<<uint(b1)^1<<uint(b2), check)
+		if st != ECCUncorrectable {
+			t.Fatalf("double flip (%d,%d) on %#x: status %v, want uncorrectable", b1, b2, v, st)
+		}
+	}
+}
+
+func TestECCDetectsDataPlusCheckDouble(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Uint64()
+		check := ECCEncode(v)
+		db := rng.Intn(64)
+		cb := rng.Intn(8)
+		_, st := ECCDecode(v^1<<uint(db), check^1<<uint(cb))
+		if st != ECCUncorrectable {
+			t.Fatalf("data %d + check %d flip: status %v", db, cb, st)
+		}
+	}
+}
+
+func TestECCQuickSingleFlipAlwaysCorrected(t *testing.T) {
+	f := func(v uint64, which uint8) bool {
+		check := ECCEncode(v)
+		bit := int(which) % 72
+		var got uint64
+		var st ECCStatus
+		if bit < 64 {
+			got, st = ECCDecode(v^1<<uint(bit), check)
+		} else {
+			got, st = ECCDecode(v, check^1<<uint(bit-64))
+		}
+		return st == ECCCorrected && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECCStatusString(t *testing.T) {
+	if ECCClean.String() != "clean" || ECCCorrected.String() != "corrected" ||
+		ECCUncorrectable.String() != "uncorrectable" {
+		t.Fatal("status strings wrong")
+	}
+	if ECCStatus(42).String() == "" {
+		t.Fatal("unknown status must render")
+	}
+}

@@ -1,0 +1,63 @@
+package sram
+
+import "fmt"
+
+// ScrubReport summarizes one scrubbing pass over the array.
+type ScrubReport struct {
+	WordsScanned  int64
+	Corrected     int64 // single-bit errors repaired in place
+	Uncorrectable int64 // double-bit errors found (data lost)
+}
+
+func (r ScrubReport) String() string {
+	return fmt.Sprintf("scrub: %d words, %d corrected, %d uncorrectable",
+		r.WordsScanned, r.Corrected, r.Uncorrectable)
+}
+
+// Scrub walks every stored word, re-decoding and rewriting it. Single-bit
+// upsets are corrected in place — which is what keeps independent soft
+// errors from accumulating into uncorrectable double errors over time.
+// Real large caches run such a scrubber continuously in the background;
+// here it is a synchronous pass for tests and studies.
+func (a *Array) Scrub() ScrubReport {
+	var rep ScrubReport
+	for s := range a.store {
+		if a.defective[s] {
+			continue // fused-out subarrays are never read
+		}
+		for i := range a.store[s] {
+			w := &a.store[s][i]
+			rep.WordsScanned++
+			v, st := ECCDecode(w.data, w.check)
+			switch st {
+			case ECCCorrected:
+				rep.Corrected++
+				w.data = v
+				w.check = ECCEncode(v)
+			case ECCUncorrectable:
+				rep.Uncorrectable++
+			}
+		}
+	}
+	return rep
+}
+
+// InjectRandomStrikes models n independent alpha-particle strikes at
+// random locations, each flipping `width` adjacent bits of one row, and
+// returns the locations hit (physical subarray, row). The rng is any
+// source of uniform integers, kept as a tiny interface so the package
+// stays free of simulator dependencies.
+func (a *Array) InjectRandomStrikes(rng interface{ Intn(int) int }, n, width int) ([][2]int, error) {
+	hits := make([][2]int, 0, n)
+	rowBits := a.cfg.Interleave * 72
+	for i := 0; i < n; i++ {
+		s := rng.Intn(len(a.store))
+		row := rng.Intn(a.rowsPerSub)
+		start := rng.Intn(rowBits - width + 1)
+		if err := a.Strike(s, row, start, width); err != nil {
+			return hits, err
+		}
+		hits = append(hits, [2]int{s, row})
+	}
+	return hits, nil
+}

@@ -1,0 +1,119 @@
+package sram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nurapid/internal/mathx"
+)
+
+func TestScrubCleanArray(t *testing.T) {
+	a := testArray(t)
+	rep := a.Scrub()
+	if rep.Corrected != 0 || rep.Uncorrectable != 0 {
+		t.Fatalf("clean array scrub found errors: %v", rep)
+	}
+	if rep.WordsScanned == 0 {
+		t.Fatal("scrub must scan words")
+	}
+}
+
+func TestScrubRepairsSingleBitUpsets(t *testing.T) {
+	a := testArray(t)
+	rng := mathx.NewRNG(5)
+	payload := randomBlock(rng, 128)
+	if err := a.WriteBlock(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Single-bit strike on one of the block's words.
+	// Block 3 occupies column 0 of its row, so its word's bits sit at
+	// positions p with p %% interleave == 0.
+	phys := a.BlockSubarrays(3)[0]
+	if err := a.Strike(phys, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Scrub()
+	if rep.Corrected != 1 {
+		t.Fatalf("scrub corrected %d words, want 1", rep.Corrected)
+	}
+	// After scrubbing, a second strike on the SAME word is again a
+	// single-bit error — without scrubbing it would have accumulated
+	// into an uncorrectable double error.
+	if err := a.Strike(phys, 0, a.Interleave(), 1); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := a.ReadBlock(3)
+	if err != nil || st == ECCUncorrectable {
+		t.Fatalf("post-scrub strike must remain correctable: st=%v err=%v", st, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestWithoutScrubErrorsAccumulate(t *testing.T) {
+	a := testArray(t)
+	rng := mathx.NewRNG(6)
+	if err := a.WriteBlock(3, randomBlock(rng, 128)); err != nil {
+		t.Fatal(err)
+	}
+	phys := a.BlockSubarrays(3)[0]
+	// Two strikes hitting the same ECC word (column 0 of row 0, the
+	// word block 3 owns) without a scrub in between.
+	if err := a.Strike(phys, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Strike(phys, 0, a.Interleave(), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, st, _ := a.ReadBlock(3)
+	if st != ECCUncorrectable {
+		t.Fatalf("accumulated double error must be uncorrectable, got %v", st)
+	}
+	rep := a.Scrub()
+	if rep.Uncorrectable != 1 {
+		t.Fatalf("scrub must report the uncorrectable word: %v", rep)
+	}
+}
+
+func TestScrubSkipsDefectiveSubarrays(t *testing.T) {
+	a := testArray(t)
+	full := a.Scrub().WordsScanned
+	if err := a.MarkDefective(0); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Scrub().WordsScanned
+	if after >= full {
+		t.Fatalf("defective subarray must be skipped: %d -> %d", full, after)
+	}
+}
+
+func TestInjectRandomStrikesAllCorrectableAtInterleaveWidth(t *testing.T) {
+	a := testArray(t)
+	rng := mathx.NewRNG(7)
+	// Fill a few blocks.
+	for b := 0; b < 64; b++ {
+		if err := a.WriteBlock(b, randomBlock(rng, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := a.InjectRandomStrikes(rng, 50, a.Interleave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 50 {
+		t.Fatalf("injected %d strikes", len(hits))
+	}
+	rep := a.Scrub()
+	if rep.Uncorrectable != 0 {
+		t.Fatalf("interleave-width strikes must all be correctable: %v", rep)
+	}
+}
+
+func TestScrubReportString(t *testing.T) {
+	s := ScrubReport{WordsScanned: 10, Corrected: 2, Uncorrectable: 1}.String()
+	if !strings.Contains(s, "10") || !strings.Contains(s, "2") || !strings.Contains(s, "1") {
+		t.Fatalf("report string %q", s)
+	}
+}

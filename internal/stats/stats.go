@@ -1,0 +1,95 @@
+// Package stats provides the counting, distribution, and table-rendering
+// helpers shared by the simulator and the experiment harness.
+//
+// The simulator hot paths use plain struct fields for their own counters;
+// this package is for the cross-cutting pieces: named counter sets that
+// experiments can diff, access-distribution summaries (the stacked bars
+// of the paper's Figures 4, 5, and 7), and aligned text/CSV tables (the
+// paper's Tables 2-4 and per-figure series).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counters is a named set of monotonically increasing event counts.
+// The zero value is ready to use.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Set overwrites counter name with value (for derived gauges).
+func (c *Counters) Set(name string, value int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] = value
+}
+
+// Get returns the current value of counter name (0 if never touched).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { c.m = nil }
+
+// Sum returns the total across all counters.
+func (c *Counters) Sum() int64 {
+	var s int64
+	for _, v := range c.m {
+		s += v
+	}
+	return s
+}
+
+// Ratio returns Get(num)/Get(den), or 0 when the denominator is zero.
+func (c *Counters) Ratio(num, den string) float64 {
+	d := c.Get(den)
+	if d == 0 {
+		return 0
+	}
+	return float64(c.Get(num)) / float64(d)
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *Counters) String() string {
+	out := ""
+	for _, n := range c.Names() {
+		out += fmt.Sprintf("%-32s %12d\n", n, c.m[n])
+	}
+	return out
+}
+
+// Percent formats a fraction as "NN.N%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Frac returns a/b as a float, or 0 when b is 0.
+func Frac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

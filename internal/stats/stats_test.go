@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("untouched counter must read 0")
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	if c.Get("x") != 5 {
+		t.Fatalf("x = %d, want 5", c.Get("x"))
+	}
+}
+
+func TestCountersNamesSorted(t *testing.T) {
+	var c Counters
+	c.Inc("b")
+	c.Inc("a")
+	c.Inc("c")
+	names := c.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Names() = %v, want [a b c]", names)
+	}
+}
+
+func TestCountersSumAndReset(t *testing.T) {
+	var c Counters
+	c.Add("a", 3)
+	c.Add("b", 7)
+	if c.Sum() != 10 {
+		t.Fatalf("Sum = %d, want 10", c.Sum())
+	}
+	c.Reset()
+	if c.Sum() != 0 || c.Get("a") != 0 {
+		t.Fatal("Reset must zero all counters")
+	}
+}
+
+func TestCountersRatio(t *testing.T) {
+	var c Counters
+	c.Add("hits", 3)
+	c.Add("accesses", 4)
+	if got := c.Ratio("hits", "accesses"); got != 0.75 {
+		t.Fatalf("Ratio = %v, want 0.75", got)
+	}
+	if c.Ratio("hits", "nonexistent") != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	var c Counters
+	c.Add("alpha", 12)
+	s := c.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "12") {
+		t.Fatalf("String() = %q missing content", s)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.8642); got != "86.4%" {
+		t.Fatalf("Percent = %q, want 86.4%%", got)
+	}
+}
+
+func TestFrac(t *testing.T) {
+	if Frac(1, 2) != 0.5 || Frac(1, 0) != 0 {
+		t.Fatal("Frac misbehaves")
+	}
+}

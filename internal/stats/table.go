@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them as an aligned
+// text table or as CSV. The experiment drivers use it to print the same
+// rows/series the paper's tables and figures report.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: append([]string(nil), headers...)}
+}
+
+// AddRow appends a row. Cells are formatted with %v; float64 cells are
+// rendered with three significant decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowStrings appends a preformatted row.
+func (t *Table) AddRowStrings(cells ...string) {
+	t.rows = append(t.rows, append([]string(nil), cells...))
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Cell returns the rendered cell at (row, col); it panics when out of
+// range, which keeps experiment assertions honest.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, wd := range widths {
+		total += wd
+	}
+	total += len(widths) // separator slack
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (cells containing commas
+// or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

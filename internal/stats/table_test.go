@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Table X", "name", "value")
+	tb.AddRow("alpha", 42)
+	tb.AddRow("beta", 3.14159)
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table X", "name", "alpha", "42", "3.142"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("longlonglong", "x")
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Header line, separator, one data row.
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), lines)
+	}
+	// Column b must start at the same offset on header and data rows.
+	hIdx := strings.Index(lines[0], "b")
+	dIdx := strings.Index(lines[2], "x")
+	if hIdx != dIdx {
+		t.Fatalf("columns misaligned: header b at %d, data x at %d", hIdx, dIdx)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %q", out)
+	}
+}
+
+func TestTableCellAccess(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRowStrings("v0")
+	tb.AddRow(7)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+	if tb.Cell(0, 0) != "v0" || tb.Cell(1, 0) != "7" {
+		t.Fatal("Cell returned wrong contents")
+	}
+	if tb.Title() != "t" {
+		t.Fatal("Title accessor wrong")
+	}
+}

@@ -1,0 +1,220 @@
+// Package uca implements the uniform-access cache organizations: the
+// conventional L2/L3 hierarchy the paper uses as its base case, and the
+// single-level uniform cache that doubles as the paper's "ideal" bound
+// (every hit served at the fastest d-group's latency).
+package uca
+
+import (
+	"nurapid/internal/cache"
+	"nurapid/internal/cacti"
+	"nurapid/internal/memsys"
+	"nurapid/internal/stats"
+)
+
+// tagOnlyNJ is the energy of probing just the centralized tag array on a
+// sequential tag-data access that misses. The paper's Table 2 bundles
+// "tag + access"; the tag-only share of those figures is small.
+const tagOnlyNJ = 0.05
+
+// Uniform is one monolithic cache level with a single uniform access
+// latency, sequential tag-data access, and allocate-on-miss with
+// writeback. It implements memsys.LowerLevel.
+type Uniform struct {
+	name      string
+	c         *cache.Cache
+	hitLat    int64 // full sequential tag+data latency
+	tagLat    int64 // tag-only latency (miss detection point)
+	occupancy int64 // port time per access
+	accessNJ  float64
+	port      memsys.Port
+	mem       *memsys.Memory
+	dist      *stats.Distribution
+	ctrs      stats.Counters
+	energy    float64
+}
+
+// UniformConfig parameterizes a Uniform cache.
+type UniformConfig struct {
+	Name      string
+	Geometry  cache.Geometry
+	HitLat    int64
+	TagLat    int64
+	Occupancy int64
+	AccessNJ  float64
+}
+
+// NewUniform builds a uniform cache backed by mem.
+func NewUniform(cfg UniformConfig, mem *memsys.Memory) (*Uniform, error) {
+	c, err := cache.NewCache(cfg.Geometry, cache.LRU, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Uniform{
+		name:      cfg.Name,
+		c:         c,
+		hitLat:    cfg.HitLat,
+		tagLat:    cfg.TagLat,
+		occupancy: cfg.Occupancy,
+		accessNJ:  cfg.AccessNJ,
+		mem:       mem,
+		dist:      stats.NewDistribution(cfg.Name),
+	}, nil
+}
+
+// NewIdeal builds the paper's ideal bound: an 8-MB, 8-way cache in which
+// every hit completes at the fastest 4-d-group latency (14 cycles).
+func NewIdeal(m *cacti.Model, mem *memsys.Memory) *Uniform {
+	geo := cache.Geometry{CapacityBytes: 8 << 20, BlockBytes: 128, Assoc: 8}
+	u, err := NewUniform(UniformConfig{
+		Name:      "ideal",
+		Geometry:  geo,
+		HitLat:    14,
+		TagLat:    int64(m.TagCycles),
+		Occupancy: 4, // pipelined single port, like NuRAPID's
+		AccessNJ:  m.DataAccessNJ(2),
+	}, mem)
+	if err != nil {
+		panic(err) // static configuration, cannot fail
+	}
+	return u
+}
+
+// Name implements memsys.LowerLevel.
+func (u *Uniform) Name() string { return u.name }
+
+// Access implements memsys.LowerLevel.
+func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+	start := u.port.Acquire(now, u.occupancy)
+	u.ctrs.Inc("accesses")
+	out := u.c.Access(addr, write)
+	if out.Evicted != nil && out.Evicted.Dirty {
+		u.ctrs.Inc("writebacks")
+		u.energy += u.accessNJ // victim read for writeback
+		u.mem.Write()
+	}
+	if out.Hit {
+		u.dist.AddHit(0)
+		u.energy += u.accessNJ
+		return memsys.AccessResult{Hit: true, DoneAt: start + u.hitLat, Group: 0}
+	}
+	u.dist.AddMiss()
+	u.energy += tagOnlyNJ  // miss discovered in the tag array
+	u.energy += u.accessNJ // fill write when data returns
+	done := u.mem.Read(start + u.tagLat)
+	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
+}
+
+// Distribution implements memsys.LowerLevel.
+func (u *Uniform) Distribution() *stats.Distribution { return u.dist }
+
+// EnergyNJ implements memsys.LowerLevel.
+func (u *Uniform) EnergyNJ() float64 { return u.energy }
+
+// Counters implements memsys.LowerLevel.
+func (u *Uniform) Counters() *stats.Counters { return &u.ctrs }
+
+// Cache exposes the underlying cache (tests, occupancy checks).
+func (u *Uniform) Cache() *cache.Cache { return u.c }
+
+// Hierarchy is the paper's base case (Table 1): a 1-MB 8-way 11-cycle L2
+// backed by an 8-MB 8-way 43-cycle L3, both with 128-B blocks, backed by
+// main memory. It implements memsys.LowerLevel; the distribution's two
+// categories are L2 hits and L3 hits.
+type Hierarchy struct {
+	l2, l3         *cache.Cache
+	l2Lat, l3Lat   int64
+	l2Tag, l3Tag   int64
+	l2Port, l3Port memsys.Port
+	l2NJ, l3NJ     float64
+	mem            *memsys.Memory
+	dist           *stats.Distribution
+	ctrs           stats.Counters
+	energy         float64
+}
+
+// NewHierarchy builds the base L2/L3 configuration with energies from the
+// cacti model.
+func NewHierarchy(m *cacti.Model, mem *memsys.Memory) *Hierarchy {
+	l2 := cache.MustNewCache(cache.Geometry{CapacityBytes: 1 << 20, BlockBytes: 128, Assoc: 8}, cache.LRU, nil)
+	l3 := cache.MustNewCache(cache.Geometry{CapacityBytes: 8 << 20, BlockBytes: 128, Assoc: 8}, cache.LRU, nil)
+	return &Hierarchy{
+		l2:    l2,
+		l3:    l3,
+		l2Lat: 11, l3Lat: 43,
+		l2Tag: 6, l3Tag: int64(m.TagCycles),
+		l2NJ: m.UniformCacheNJ(1),
+		l3NJ: m.UniformCacheNJ(8),
+		mem:  mem,
+		dist: stats.NewDistribution("L2", "L3"),
+	}
+}
+
+// Name implements memsys.LowerLevel.
+func (h *Hierarchy) Name() string { return "base-l2l3" }
+
+// Access implements memsys.LowerLevel.
+func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+	start := h.l2Port.Acquire(now, 4)
+	h.ctrs.Inc("accesses")
+	o2 := h.l2.Access(addr, write)
+	if o2.Evicted != nil && o2.Evicted.Dirty {
+		h.writebackToL3(o2.Evicted.Addr)
+	}
+	if o2.Hit {
+		h.dist.AddHit(0)
+		h.energy += h.l2NJ
+		return memsys.AccessResult{Hit: true, DoneAt: start + h.l2Lat, Group: 0}
+	}
+	h.energy += tagOnlyNJ // L2 miss discovered in its tags
+	h.energy += h.l2NJ    // eventual L2 fill write
+
+	start3 := h.l3Port.Acquire(start+h.l2Tag, 8)
+	o3 := h.l3.Access(addr, write)
+	if o3.Evicted != nil && o3.Evicted.Dirty {
+		h.ctrs.Inc("l3_writebacks")
+		h.energy += h.l3NJ
+		h.mem.Write()
+	}
+	if o3.Hit {
+		h.dist.AddHit(1)
+		h.energy += h.l3NJ
+		h.ctrs.Inc("l3_hits")
+		return memsys.AccessResult{Hit: true, DoneAt: start3 + h.l3Lat, Group: 1}
+	}
+	h.dist.AddMiss()
+	h.ctrs.Inc("misses")
+	h.energy += tagOnlyNJ // L3 miss discovered in its tags
+	h.energy += h.l3NJ    // eventual L3 fill write
+	done := h.mem.Read(start3 + h.l3Tag)
+	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
+}
+
+// writebackToL3 retires a dirty L2 victim: it lands in the L3 when the
+// block is still resident there (the common, mostly-inclusive case) and
+// otherwise goes to memory.
+func (h *Hierarchy) writebackToL3(addr uint64) {
+	h.ctrs.Inc("l2_writebacks")
+	h.energy += h.l2NJ // victim read
+	set := h.l3.Geometry().SetIndex(addr)
+	if way, hit := h.l3.Array().Lookup(addr); hit {
+		h.l3.Array().Line(set, way).Dirty = true
+		h.energy += h.l3NJ
+		return
+	}
+	h.mem.Write()
+}
+
+// Distribution implements memsys.LowerLevel.
+func (h *Hierarchy) Distribution() *stats.Distribution { return h.dist }
+
+// EnergyNJ implements memsys.LowerLevel.
+func (h *Hierarchy) EnergyNJ() float64 { return h.energy }
+
+// Counters implements memsys.LowerLevel.
+func (h *Hierarchy) Counters() *stats.Counters { return &h.ctrs }
+
+// L2 exposes the first level (tests).
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// L3 exposes the second level (tests).
+func (h *Hierarchy) L3() *cache.Cache { return h.l3 }

@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"fmt"
+
+	"nurapid/internal/mathx"
+)
+
+// Memory-map bases keep the synthetic regions disjoint.
+const (
+	codeBase  uint64 = 0x0040_0000 // 4 MB
+	dataBase  uint64 = 0x1000_0000 // 256 MB
+	stackBase uint64 = 0x7F00_0000 // ~2 GB
+)
+
+// stackBytes is the size of the L1-resident near-reuse region (stack
+// frames, register spills, innermost-loop temporaries). It fits well
+// inside the 64-KB L1, so references to it model the short-term locality
+// that keeps real L1 miss rates low.
+const stackBytes = 16 << 10
+
+// blockBytes is the granularity of the popularity model; offsets within a
+// block are drawn uniformly.
+const blockBytes = 128
+
+// Generator synthesizes an infinite instruction stream for one App. It
+// is deterministic for a given (app, seed) pair.
+type Generator struct {
+	app App
+	rng *mathx.RNG
+
+	wsBlocks int64
+	hotBlks  int64
+	l1Frac   float64 // fraction of references to the L1-resident region
+
+	// Tile phase model: the hot region is worked on one tile at a time
+	// (a program phase); the active tile shifts every tileLife
+	// references. This moving-locus behaviour is what makes initial
+	// placement and promotion policy matter: newly hot blocks start
+	// cold (or demoted) in every organization.
+	tileZipf   *mathx.Zipf
+	tileBlocks int64
+	nTiles     int64
+	tileIdx    int64
+	tileLeft   int64
+	tileLife   int64
+
+	// Column-walk model: strided accesses (matrix columns) that
+	// concentrate many blocks into few cache sets — the hot-set
+	// behaviour behind the paper's set-associative placement problem.
+	colStride uint64
+	colBase   uint64
+	colK      int
+	colPass   int
+
+	codeZipf *mathx.Zipf // jump-target skew over code blocks
+
+	// Streaming model: a head pointer walks a region several times the
+	// working set (input data read once per pass), with reuse hits into
+	// the megabyte-scale window trailing the head (stencil-style).
+	streamBlocks int64
+	streamPos    int64
+
+	pc        uint64
+	codeBytes uint64
+	runLen    int // remaining instructions before the next fetch jump
+	generated int64
+}
+
+// Streaming geometry: the stream region is streamScale working sets
+// long; each stream reference advances the head with probability
+// streamAdvance (a fresh block, a cache miss at steady state) and
+// otherwise re-touches a block within the trailing streamWindow.
+const (
+	streamScale   = 4
+	streamAdvance = 0.15
+	streamWindow  = 4096 // blocks: a 512-KB trailing reuse window
+)
+
+// Column-walk geometry: a column touches colLen blocks separated by
+// colStride bytes and is walked colPasses times before moving on. The
+// stride is a large power of two (big matrix rows), so column blocks
+// alias into few cache sets — the access pattern that creates the hot
+// sets behind the paper's set-associative placement problem.
+const (
+	defaultColStride = 512 << 10
+	colLen           = 12
+	colPasses        = 6
+)
+
+// NewGenerator builds a generator for app seeded with seed.
+func NewGenerator(app App, seed uint64) (*Generator, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	rng := mathx.NewRNG(seed ^ hashName(app.Name))
+	hotBlks := int64(app.HotKB) * 1024 / blockBytes
+
+	tileKB := mathx.ClampInt(app.HotKB/3, 32, 512)
+	if tileKB > app.HotKB {
+		tileKB = app.HotKB
+	}
+	tileBlocks := int64(tileKB) * 1024 / blockBytes
+	nTiles := hotBlks / tileBlocks
+	if nTiles < 1 {
+		nTiles = 1
+	}
+
+	// The column stride shrinks for small working sets, but stays a
+	// power of two so the set aliasing survives.
+	wsBytes := uint64(app.WorkingSetKB) * 1024
+	stride := uint64(defaultColStride)
+	for stride*colLen > wsBytes && stride > blockBytes {
+		stride /= 2
+	}
+
+	g := &Generator{
+		app:          app,
+		rng:          rng,
+		wsBlocks:     int64(app.WorkingSetKB) * 1024 / blockBytes,
+		streamBlocks: streamScale * int64(app.WorkingSetKB) * 1024 / blockBytes,
+		hotBlks:      hotBlks,
+		l1Frac:       l1ResidentFraction(app),
+		tileZipf:     mathx.NewZipf(rng.Split(), app.ZipfS, int(tileBlocks)),
+		tileBlocks:   tileBlocks,
+		nTiles:       nTiles,
+		tileLife:     2 * tileBlocks, // ~two passes over the tile per phase
+		colStride:    stride,
+		colPass:      colPasses, // force a fresh column on first use
+		codeBytes:    uint64(app.CodeKB) * 1024,
+		codeZipf:     mathx.NewZipf(rng.Split(), 1.2, app.CodeKB*1024/64),
+		pc:           codeBase,
+	}
+	return g, nil
+}
+
+// MustNewGenerator panics on an invalid app model.
+func MustNewGenerator(app App, seed uint64) *Generator {
+	g, err := NewGenerator(app, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// App returns the generated application model.
+func (g *Generator) App() App { return g.app }
+
+// Generated returns the number of instructions produced so far.
+func (g *Generator) Generated() int64 { return g.generated }
+
+// Next implements Source; generators never exhaust.
+func (g *Generator) Next() (Instr, bool) {
+	g.generated++
+	in := Instr{PC: g.nextPC()}
+	r := g.rng.Float64()
+	switch {
+	case r < g.app.LoadFrac:
+		in.Kind = Load
+		in.Addr = g.dataAddr()
+	case r < g.app.LoadFrac+g.app.StoreFrac:
+		in.Kind = Store
+		in.Addr = g.dataAddr()
+	case r < g.app.LoadFrac+g.app.StoreFrac+g.app.BranchFrac:
+		in.Kind = Branch
+		in.Mispredicted = g.rng.Bool(g.app.Mispredict)
+	default:
+		in.Kind = ALU
+	}
+	return in, true
+}
+
+// apkiScale inflates the generated L2 access rate above the paper's
+// Table 3 figure. The paper simulated 5 billion instructions per run;
+// this reproduction defaults to a few million, and at the paper's exact
+// APKI that yields too few L2 accesses to exercise an 8-MB cache's
+// steady state. Scaling the L2 intensity compresses the same cache
+// behaviour into a feasible run length; EXPERIMENTS.md documents it.
+const apkiScale = 1.5
+
+// l1ResidentFraction calibrates the share of references that hit the
+// L1-resident near-reuse region so the generated stream lands near
+// apkiScale times the app's Table 3 L2 accesses per kilo-instruction.
+// The remaining references go to the working set and mostly miss the
+// 64-KB L1; the 1.25 divisor accounts for the L1 writebacks and I-fetch
+// misses that also reach the L2.
+func l1ResidentFraction(app App) float64 {
+	memRefsPer1000 := (app.LoadFrac + app.StoreFrac) * 1000
+	if memRefsPer1000 <= 0 {
+		return 0
+	}
+	targetMisses := app.TableAPKI * apkiScale / 1.25
+	return mathx.Clamp(1-targetMisses/memRefsPer1000, 0, 0.99)
+}
+
+// nextPC advances the fetch stream: mostly sequential 4-byte
+// instructions, with occasional jumps whose targets follow a skewed
+// (hot-loop) distribution over the code footprint.
+func (g *Generator) nextPC() uint64 {
+	if g.runLen <= 0 {
+		g.pc = codeBase + uint64(g.codeZipf.Draw())*64
+		g.runLen = 8 + g.rng.Intn(24) // basic-block run
+	}
+	g.runLen--
+	pc := g.pc
+	g.pc += 4
+	if g.pc >= codeBase+g.codeBytes {
+		g.pc = codeBase
+	}
+	return pc
+}
+
+// dataAddr draws one effective address. Most references (the calibrated
+// l1Frac) go to the small L1-resident region; the rest follow the
+// mixture model over the working set: strided column walks, sequential
+// streaming, skewed reuse within the active hot tile, or a uniform cold
+// reference.
+func (g *Generator) dataAddr() uint64 {
+	if g.rng.Float64() < g.l1Frac {
+		return stackBase + uint64(g.rng.Intn(stackBytes/8))*8
+	}
+	r := g.rng.Float64()
+	switch mix := g.app.StreamFrac + g.app.ColumnFrac; {
+	case r < g.app.ColumnFrac:
+		return g.columnAddr()
+	case r < mix:
+		return g.streamAddr()
+	case r < mix+(1-mix)*g.app.HotFrac:
+		return g.blockAddr(g.tileAddr())
+	default:
+		return g.blockAddr(g.rng.Int63n(g.wsBlocks))
+	}
+}
+
+// blockAddr converts a working-set block index into a byte address with
+// a random word offset.
+func (g *Generator) blockAddr(block int64) uint64 {
+	return dataBase + uint64(block)*blockBytes + uint64(g.rng.Intn(blockBytes/8))*8
+}
+
+// streamAddr advances the streaming head or re-touches its trailing
+// window. Stream blocks live beyond the working-set region so streamed
+// input keeps churning the cache the way read-mostly passes over large
+// inputs do.
+func (g *Generator) streamAddr() uint64 {
+	if g.rng.Bool(streamAdvance) {
+		g.streamPos++
+		if g.streamPos >= g.streamBlocks {
+			g.streamPos = 0
+		}
+	}
+	blk := g.streamPos
+	if lag := int64(g.rng.Intn(streamWindow)); g.rng.Bool(0.6) && lag <= blk {
+		blk -= lag
+	}
+	base := dataBase + uint64(g.wsBlocks)*blockBytes
+	return base + uint64(blk)*blockBytes + uint64(g.rng.Intn(blockBytes/8))*8
+}
+
+// tileAddr draws a block from the active hot tile, shifting to a new
+// tile when the current phase expires.
+func (g *Generator) tileAddr() int64 {
+	if g.tileLeft <= 0 {
+		if g.nTiles > 1 {
+			// Always move to a different tile, so the previous phase's
+			// blocks go dormant and must be re-promoted when their tile
+			// becomes hot again.
+			g.tileIdx = (g.tileIdx + 1 + int64(g.rng.Intn(int(g.nTiles-1)))) % g.nTiles
+		}
+		g.tileLeft = g.tileLife
+	}
+	g.tileLeft--
+	return g.tileIdx*g.tileBlocks + int64(g.tileZipf.Draw())
+}
+
+// columnAddr advances the strided column walk, starting a fresh column
+// after colPasses traversals.
+func (g *Generator) columnAddr() uint64 {
+	if g.colPass >= colPasses {
+		span := g.colStride * colLen
+		limit := uint64(g.wsBlocks)*blockBytes - span
+		if limit == 0 {
+			limit = blockBytes
+		}
+		g.colBase = dataBase + uint64(g.rng.Int63n(int64(limit)))/blockBytes*blockBytes
+		g.colK = 0
+		g.colPass = 0
+	}
+	addr := g.colBase + uint64(g.colK)*g.colStride
+	g.colK++
+	if g.colK >= colLen {
+		g.colK = 0
+		g.colPass++
+	}
+	return addr
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+var _ Source = (*Generator)(nil)
+
+// Limited wraps a Source and stops after n instructions; useful for
+// bounding trace capture.
+type Limited struct {
+	src  Source
+	left int64
+}
+
+// Limit returns a Source producing at most n instructions from src.
+func Limit(src Source, n int64) *Limited {
+	if n < 0 {
+		panic(fmt.Sprintf("workload: negative limit %d", n))
+	}
+	return &Limited{src: src, left: n}
+}
+
+// Next implements Source.
+func (l *Limited) Next() (Instr, bool) {
+	if l.left <= 0 {
+		return Instr{}, false
+	}
+	l.left--
+	return l.src.Next()
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestColumnStrideShrinksForSmallApps(t *testing.T) {
+	small, _ := ByName("gzip") // 768-KB working set
+	g := MustNewGenerator(small, 1)
+	if g.colStride*colLen > uint64(small.WorkingSetKB)*1024 {
+		t.Fatalf("column span %d exceeds working set %d",
+			g.colStride*colLen, small.WorkingSetKB*1024)
+	}
+	// The stride must stay a power of two so set aliasing survives.
+	if g.colStride&(g.colStride-1) != 0 {
+		t.Fatalf("stride %d not a power of two", g.colStride)
+	}
+}
+
+func TestColumnStrideFullForLargeApps(t *testing.T) {
+	big, _ := ByName("mcf") // 6-MB working set
+	g := MustNewGenerator(big, 1)
+	if g.colStride != defaultColStride {
+		t.Fatalf("large app stride %d, want %d", g.colStride, defaultColStride)
+	}
+}
+
+func TestColumnAliasesIntoFewSets(t *testing.T) {
+	// The whole point of column walks: one column's blocks land in very
+	// few sets of an 8-MB 8-way cache (8192 sets, 1-MB set period).
+	app, _ := ByName("mcf")
+	g := MustNewGenerator(app, 2)
+	const numSets = 8192
+	sets := map[uint64]int{}
+	colRefs := 0
+	for i := 0; i < 3_000_000 && colRefs < colLen*colPasses; i++ {
+		in, _ := g.Next()
+		if in.Kind != Load && in.Kind != Store {
+			continue
+		}
+		// Column addresses are exactly defaultColStride-aligned relative
+		// to their base; detect them via the generator state instead:
+		// simply classify by region is impossible, so sample the first
+		// full column through the dedicated method.
+		_ = in
+		break
+	}
+	// Drive columnAddr directly for a deterministic check.
+	for i := 0; i < colLen*colPasses; i++ {
+		addr := g.columnAddr()
+		sets[(addr/128)%numSets]++
+		colRefs++
+	}
+	if len(sets) > 3 {
+		t.Fatalf("one column touched %d distinct sets, want <= 3 (hot sets)", len(sets))
+	}
+	// And multiple blocks per set (the multi-way hotness).
+	for s, n := range sets {
+		if n < colPasses {
+			t.Fatalf("set %d touched only %d times", s, n)
+		}
+	}
+}
+
+func TestTilePhaseSwitchesTiles(t *testing.T) {
+	app, _ := ByName("art") // several tiles
+	g := MustNewGenerator(app, 3)
+	if g.nTiles < 2 {
+		t.Fatalf("art must have >= 2 tiles, has %d", g.nTiles)
+	}
+	seen := map[int64]bool{}
+	// Drain enough tile references to cross several phases.
+	for i := int64(0); i < 5*g.tileLife; i++ {
+		g.tileAddr()
+		seen[g.tileIdx] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("tile phases never switched")
+	}
+}
+
+func TestTileSwitchAlwaysChangesTile(t *testing.T) {
+	app, _ := ByName("art")
+	g := MustNewGenerator(app, 4)
+	prev := g.tileIdx
+	for phase := 0; phase < 10; phase++ {
+		g.tileLeft = 0 // force a switch on the next draw
+		g.tileAddr()
+		if g.tileIdx == prev {
+			t.Fatal("tile switch must pick a different tile")
+		}
+		prev = g.tileIdx
+	}
+}
+
+func TestTileAddrStaysInHotRegion(t *testing.T) {
+	app, _ := ByName("applu")
+	g := MustNewGenerator(app, 5)
+	for i := 0; i < 50000; i++ {
+		blk := g.tileAddr()
+		if blk < 0 || blk >= g.hotBlks {
+			t.Fatalf("tile block %d outside hot region [0,%d)", blk, g.hotBlks)
+		}
+	}
+}
+
+func TestStreamAddrStaysInStreamRegion(t *testing.T) {
+	app, _ := ByName("equake")
+	g := MustNewGenerator(app, 6)
+	lo := dataBase + uint64(g.wsBlocks)*blockBytes
+	hi := lo + uint64(g.streamBlocks)*blockBytes
+	for i := 0; i < 50000; i++ {
+		a := g.streamAddr()
+		if a < lo || a >= hi {
+			t.Fatalf("stream address %#x outside [%#x,%#x)", a, lo, hi)
+		}
+	}
+}
+
+func TestStreamAdvances(t *testing.T) {
+	app, _ := ByName("equake")
+	g := MustNewGenerator(app, 7)
+	start := g.streamPos
+	for i := 0; i < 10000; i++ {
+		g.streamAddr()
+	}
+	if g.streamPos == start {
+		t.Fatal("stream head never advanced")
+	}
+}
+
+func TestL1ResidentFractionCalibration(t *testing.T) {
+	// Higher-APKI apps must reserve a smaller L1-resident share.
+	low, _ := ByName("gzip")
+	high, _ := ByName("art")
+	if l1ResidentFraction(high) >= l1ResidentFraction(low) {
+		t.Fatalf("art l1Frac %.3f must be below gzip's %.3f",
+			l1ResidentFraction(high), l1ResidentFraction(low))
+	}
+	for _, a := range Apps() {
+		f := l1ResidentFraction(a)
+		if f <= 0 || f >= 1 {
+			t.Fatalf("%s: l1Frac %v out of (0,1)", a.Name, f)
+		}
+	}
+}
+
+func TestHashNameDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, a := range Apps() {
+		h := hashName(a.Name)
+		if other, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %s and %s", a.Name, other)
+		}
+		seen[h] = a.Name
+	}
+}

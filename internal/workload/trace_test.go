@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundtrip(t *testing.T) {
+	app, _ := ByName("applu")
+	const n = 5000
+	var buf bytes.Buffer
+	if err := Capture(&buf, app.Name, MustNewGenerator(app, 9), n); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "applu" || r.Count() != n {
+		t.Fatalf("header: name=%q count=%d", r.Name(), r.Count())
+	}
+	// Replay must match a fresh generator with the same seed.
+	ref := MustNewGenerator(app, 9)
+	for i := 0; i < n; i++ {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("trace ended early at %d: %v", i, r.Err())
+		}
+		want, _ := ref.Next()
+		if got != want {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("trace must end after declared count")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTraceWriterCountEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, "x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Instr{Kind: ALU}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err == nil {
+		t.Fatal("Close must fail when fewer records were written")
+	}
+	if err := tw.Write(Instr{Kind: ALU}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Instr{Kind: ALU}); err == nil {
+		t.Fatal("writing beyond the declared count must fail")
+	}
+}
+
+func TestTraceWriterLongName(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewTraceWriter(&buf, strings.Repeat("x", 300), 0); err == nil {
+		t.Fatal("over-long name must be rejected")
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestTraceReaderCorruptKind(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Instr{Kind: ALU, PC: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the kind byte of the first record (after the 13-byte
+	// header: magic 4 + len 1 + name 1 + count 8... name "x" is 1 byte).
+	raw[4+1+1+8] = 0x05
+	r, err := NewTraceReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt record must stop replay")
+	}
+	if r.Err() == nil {
+		t.Fatal("corrupt record must surface an error")
+	}
+}
+
+func TestTraceMispredictFlagSurvives(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf, "b", 2)
+	if err := tw.Write(Instr{Kind: Branch, PC: 8, Mispredicted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Instr{Kind: Branch, PC: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Next()
+	b, _ := r.Next()
+	if !a.Mispredicted || b.Mispredicted {
+		t.Fatal("mispredict flags mangled")
+	}
+}
+
+func TestCaptureSourceExhausted(t *testing.T) {
+	app, _ := ByName("gzip")
+	var buf bytes.Buffer
+	src := Limit(MustNewGenerator(app, 1), 3)
+	if err := Capture(&buf, "g", src, 10); err == nil {
+		t.Fatal("capture beyond the source must fail")
+	}
+}

@@ -1,0 +1,217 @@
+// Package nurapid is a simulation library reproducing "Distance
+// Associativity for High-Performance Energy-Efficient Non-Uniform Cache
+// Architectures" (Chishti, Powell, Vijaykumar; MICRO 2003).
+//
+// The package re-exports the repository's public surface:
+//
+//   - the NuRAPID cache itself (distance-associative placement with
+//     forward/reverse pointers, distance replacement, promotion
+//     policies), via New;
+//   - the baselines the paper compares against: the D-NUCA dynamic
+//     non-uniform cache (NewDNUCA) and the conventional L2/L3 hierarchy
+//     (NewBaseHierarchy);
+//   - the synthetic SPEC2K-like workload models and trace format;
+//   - the cycle-level out-of-order core that drives full-system runs;
+//   - the experiment Runner that regenerates every table and figure of
+//     the paper's evaluation.
+//
+// Quick start:
+//
+//	cache, mem, err := nurapid.New(nurapid.DefaultConfig())
+//	if err != nil { ... }
+//	r := cache.Access(0, 0x1000_0000, false) // cycle 0, read
+//	_ = mem                                   // backing memory model
+//
+// Full-system comparison:
+//
+//	runner := nurapid.NewRunner(2_000_000, 1)
+//	fig9 := runner.Fig9() // NuRAPID vs D-NUCA, paper Figure 9
+//	fig9.Table.WriteText(os.Stdout)
+package nurapid
+
+import (
+	"nurapid/internal/cacti"
+	"nurapid/internal/cpu"
+	"nurapid/internal/memsys"
+	"nurapid/internal/nuca"
+	core "nurapid/internal/nurapid"
+	"nurapid/internal/sim"
+	"nurapid/internal/uca"
+	"nurapid/internal/workload"
+)
+
+// Core NuRAPID types.
+type (
+	// Config parameterizes a NuRAPID cache (capacity, d-groups,
+	// promotion and distance-replacement policies, placement mode).
+	Config = core.Config
+	// Cache is the NuRAPID cache: a centralized set-associative tag
+	// array with forward pointers into a few large distance-groups.
+	Cache = core.Cache
+	// Promotion selects what happens when a block hits outside the
+	// fastest d-group.
+	Promotion = core.Promotion
+	// DistancePolicy selects the distance-replacement victim policy.
+	DistancePolicy = core.DistancePolicy
+	// Placement selects decoupled (distance-associative) or coupled
+	// (set-associative) data placement.
+	Placement = core.Placement
+)
+
+// Promotion policies (paper Sec. 2.4.1).
+const (
+	DemotionOnly = core.DemotionOnly
+	NextFastest  = core.NextFastest
+	Fastest      = core.Fastest
+)
+
+// Distance-replacement victim policies (paper Sec. 2.4.2).
+const (
+	RandomDistance = core.RandomDistance
+	LRUDistance    = core.LRUDistance
+)
+
+// Placement modes (paper Sec. 2.1 and Figure 4).
+const (
+	DistanceAssociative = core.DistanceAssociative
+	SetAssociative      = core.SetAssociative
+)
+
+// Memory-system types shared by all organizations.
+type (
+	// Memory is the fixed-latency main-memory model.
+	Memory = memsys.Memory
+	// AccessResult reports one lower-level cache access.
+	AccessResult = memsys.AccessResult
+	// LowerLevel is the interface all L2 organizations implement.
+	LowerLevel = memsys.LowerLevel
+)
+
+// Baseline organizations.
+type (
+	// DNUCAConfig parameterizes the D-NUCA baseline.
+	DNUCAConfig = nuca.Config
+	// DNUCA is the dynamic non-uniform cache baseline (Kim et al.).
+	DNUCA = nuca.Cache
+	// SearchPolicy selects D-NUCA's lookup strategy.
+	SearchPolicy = nuca.SearchPolicy
+	// Hierarchy is the conventional L2/L3 baseline.
+	Hierarchy = uca.Hierarchy
+)
+
+// D-NUCA search policies.
+const (
+	SSPerformance = nuca.SSPerformance
+	SSEnergy      = nuca.SSEnergy
+)
+
+// Workload types.
+type (
+	// App is one modeled SPEC2K-like benchmark.
+	App = workload.App
+	// Generator synthesizes an instruction stream for one App.
+	Generator = workload.Generator
+	// Instr is one dynamic instruction.
+	Instr = workload.Instr
+	// Source produces a dynamic instruction stream.
+	Source = workload.Source
+)
+
+// CPU types.
+type (
+	// CPUConfig sets the out-of-order core's structural parameters.
+	CPUConfig = cpu.Config
+	// CPU is the cycle-level out-of-order core model.
+	CPU = cpu.CPU
+	// CPUResult summarizes one simulation run.
+	CPUResult = cpu.Result
+)
+
+// Experiment-harness types.
+type (
+	// Runner executes and memoizes full-system simulations.
+	Runner = sim.Runner
+	// Experiment is one regenerated table or figure.
+	Experiment = sim.Experiment
+	// Organization pairs a name with an L2 factory.
+	Organization = sim.Organization
+	// RunResult captures one full-system run.
+	RunResult = sim.RunResult
+)
+
+// DefaultConfig returns the paper's primary NuRAPID design: 8 MB, 8-way,
+// 128-B blocks, 4 d-groups, next-fastest promotion, random distance
+// replacement.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New builds a NuRAPID cache (with latencies and energies from the
+// calibrated 70-nm model) backed by a fresh main-memory model, which is
+// returned alongside for energy/latency inspection.
+func New(cfg Config) (*Cache, *Memory, error) {
+	mem := memsys.NewMemory(cfg.BlockBytes)
+	c, err := core.New(cfg, cacti.Default(), mem)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, mem, nil
+}
+
+// DefaultDNUCAConfig returns the paper's optimal D-NUCA baseline: 8 MB,
+// 16-way, 128 64-KB banks, 8 latency groups per set, ss-performance.
+func DefaultDNUCAConfig() DNUCAConfig { return nuca.DefaultConfig() }
+
+// NewDNUCA builds the D-NUCA baseline backed by a fresh memory model.
+func NewDNUCA(cfg DNUCAConfig) (*DNUCA, *Memory, error) {
+	mem := memsys.NewMemory(cfg.BlockBytes)
+	c, err := nuca.New(cfg, cacti.Default(), mem)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, mem, nil
+}
+
+// NewBaseHierarchy builds the conventional 1-MB-L2 + 8-MB-L3 baseline
+// backed by a fresh memory model.
+func NewBaseHierarchy() (*Hierarchy, *Memory) {
+	mem := memsys.NewMemory(128)
+	return uca.NewHierarchy(cacti.Default(), mem), mem
+}
+
+// Apps returns the 15-application workload roster (paper Table 3).
+func Apps() []App { return workload.Apps() }
+
+// AppByName finds a workload model by name.
+func AppByName(name string) (App, bool) { return workload.ByName(name) }
+
+// NewGenerator builds a deterministic instruction-stream generator.
+func NewGenerator(app App, seed uint64) (*Generator, error) {
+	return workload.NewGenerator(app, seed)
+}
+
+// DefaultCPUConfig returns the paper's Table 1 core parameters.
+func DefaultCPUConfig() CPUConfig { return cpu.DefaultConfig() }
+
+// NewCPU builds an out-of-order core driving the given lower level.
+func NewCPU(cfg CPUConfig, l2 LowerLevel) (*CPU, error) {
+	return cpu.New(cfg, l2, cacti.Default().L1NJ)
+}
+
+// NewRunner builds an experiment runner over the full application roster
+// simulating the given number of instructions per run.
+func NewRunner(instructions int64, seed uint64) *Runner {
+	return sim.NewRunner(instructions, seed)
+}
+
+// Organization constructors for the Runner.
+
+// Base returns the conventional hierarchy organization.
+func Base() Organization { return sim.Base() }
+
+// Ideal returns the constant-fastest-latency bound.
+func Ideal() Organization { return sim.Ideal() }
+
+// NuRAPIDOrg returns a NuRAPID organization for the Runner.
+func NuRAPIDOrg(cfg Config) Organization { return sim.NuRAPID(cfg) }
+
+// DNUCAOrg returns a D-NUCA organization for the Runner.
+func DNUCAOrg(cfg DNUCAConfig) Organization { return sim.DNUCA(cfg) }

@@ -1,0 +1,97 @@
+package nurapid
+
+import "testing"
+
+func TestNewDefault(t *testing.T) {
+	c, mem, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || mem == nil {
+		t.Fatal("nil cache or memory")
+	}
+	r := c.Access(0, 0x1000_0000, false)
+	if r.Hit {
+		t.Fatal("cold access must miss")
+	}
+	r = c.Access(10_000, 0x1000_0000, false)
+	if !r.Hit || r.Group != 0 {
+		t.Fatalf("want fastest-group hit, got %+v", r)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDGroups = 3
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("bad config must be rejected")
+	}
+}
+
+func TestNewDNUCA(t *testing.T) {
+	c, _, err := NewDNUCA(DefaultDNUCAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, 0x2000, false)
+	if g := c.GroupOf(0x2000); g != c.NumGroups()-1 {
+		t.Fatalf("D-NUCA initial placement in group %d, want slowest", g)
+	}
+}
+
+func TestNewBaseHierarchy(t *testing.T) {
+	h, mem := NewBaseHierarchy()
+	h.Access(0, 0x4000, false)
+	if mem.Accesses != 1 {
+		t.Fatalf("memory accesses = %d", mem.Accesses)
+	}
+}
+
+func TestWorkloadAccessors(t *testing.T) {
+	if len(Apps()) != 15 {
+		t.Fatalf("roster size %d", len(Apps()))
+	}
+	app, ok := AppByName("mcf")
+	if !ok {
+		t.Fatal("mcf missing")
+	}
+	g, err := NewGenerator(app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Next(); !ok {
+		t.Fatal("generator must produce instructions")
+	}
+}
+
+func TestFullSystemViaFacade(t *testing.T) {
+	c, _, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewCPU(DefaultCPUConfig(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := AppByName("gzip")
+	gen, _ := NewGenerator(app, 2)
+	res := core.Run(gen, 50_000)
+	if res.Instructions != 50_000 || res.IPC <= 0 {
+		t.Fatalf("run result %+v", res)
+	}
+}
+
+func TestRunnerViaFacade(t *testing.T) {
+	r := NewRunner(60_000, 1)
+	app, _ := AppByName("gzip")
+	r.Apps = []App{app}
+	base := r.Run(app, Base())
+	nu := r.Run(app, NuRAPIDOrg(DefaultConfig()))
+	dn := r.Run(app, DNUCAOrg(DefaultDNUCAConfig()))
+	id := r.Run(app, Ideal())
+	for _, res := range []*RunResult{base, nu, dn, id} {
+		if res.CPU.Cycles <= 0 {
+			t.Fatalf("run %s/%s has no cycles", res.App, res.Org)
+		}
+	}
+}
