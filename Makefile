@@ -1,0 +1,38 @@
+# Local entry points mirroring .github/workflows/ci.yml, so a green
+# `make ci` means a green CI run.
+
+GO ?= go
+
+.PHONY: build test race lint fmt bench audit ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = custom analyzers (determinism, panicstyle, statsreg) + go vet,
+# via the multichecker, plus a gofmt cleanliness check.
+lint:
+	$(GO) run ./cmd/nurapidlint ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+# bench smoke: one iteration per benchmark, to catch bit-rot without
+# waiting for real measurements.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# audit: the randomized invariant storm at full length.
+audit:
+	$(GO) test ./internal/nurapid/ -run TestAuditedAccessStorm -v
+
+ci: build test race lint bench

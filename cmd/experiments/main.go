@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"nurapid/internal/sim"
 )
@@ -48,33 +47,9 @@ func main() {
 
 	for _, e := range exps {
 		fmt.Println()
-		var err error
-		if *csv {
-			err = e.Table.WriteCSV(os.Stdout)
-		} else {
-			err = e.Table.WriteText(os.Stdout)
-		}
-		if err != nil {
+		if err := e.Render(os.Stdout, *csv); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		}
-		if e.Chart != nil && !*csv {
-			fmt.Println()
-			if err := e.Chart.Render(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		if len(e.Metrics) > 0 {
-			fmt.Println("headline metrics:")
-			keys := make([]string, 0, len(e.Metrics))
-			for k := range e.Metrics {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("  %-32s %.4f\n", k, e.Metrics[k])
-			}
 		}
 	}
 }

@@ -1,0 +1,80 @@
+// Command nurapidlint is the repository's multichecker: it runs the
+// simulator-specific analyzers from internal/lint (determinism,
+// panicstyle, statsreg) over the packages matching the given patterns,
+// and — unless -vet=false — the stock `go vet` passes as well.
+//
+// Usage:
+//
+//	go run ./cmd/nurapidlint ./...          # custom analyzers + go vet
+//	go run ./cmd/nurapidlint -vet=false ./internal/nurapid
+//	go run ./cmd/nurapidlint -list          # describe the analyzers
+//
+// The exit status is non-zero when any analyzer (custom or vet) reports
+// a diagnostic, so the command doubles as the CI lint gate. Findings can
+// be suppressed per line with a
+//
+//	//nurapidlint:ignore <analyzer> <reason>
+//
+// comment on or directly above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"nurapid/internal/lint"
+)
+
+func main() {
+	var (
+		vet  = flag.Bool("vet", true, "also run the stock go vet passes")
+		list = flag.Bool("list", false, "list the custom analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nurapidlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nurapidlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nurapidlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	failed := len(diags) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"nurapid/internal/cache"
 	"nurapid/internal/memsys"
+	"nurapid/internal/stats"
 	"nurapid/internal/workload"
 )
 
@@ -69,6 +70,23 @@ type Result struct {
 	APKI                   float64 // L2 accesses per 1000 instructions
 
 	L1EnergyNJ float64
+}
+
+// Snapshot emits every metric of the run summary (statsreg convention:
+// every counter field must appear here).
+func (r Result) Snapshot() []stats.KV {
+	return []stats.KV{
+		{Name: "instructions", Value: float64(r.Instructions)},
+		{Name: "cycles", Value: float64(r.Cycles)},
+		{Name: "ipc", Value: r.IPC},
+		{Name: "l1d_accesses", Value: float64(r.L1DAccesses)},
+		{Name: "l1d_misses", Value: float64(r.L1DMisses)},
+		{Name: "l1i_accesses", Value: float64(r.L1IAccesses)},
+		{Name: "l1i_misses", Value: float64(r.L1IMisses)},
+		{Name: "l2_accesses", Value: float64(r.L2Accesses)},
+		{Name: "apki", Value: r.APKI},
+		{Name: "l1_energy_nj", Value: r.L1EnergyNJ},
+	}
 }
 
 type robEntry struct {

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// This file is the repository's stand-in for
+// golang.org/x/tools/go/analysis/analysistest: golden testdata packages
+// annotate the lines where an analyzer must fire with
+//
+//	// want `regexp`
+//
+// comments (multiple backquoted regexps for multiple diagnostics), and
+// CheckDir verifies the analyzer produces exactly the expected set.
+
+var wantRe = regexp.MustCompile("//\\s*want((?:\\s+`[^`]*`)+)")
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// CheckDir loads the package rooted at dir (an analysistest golden
+// package), runs the analyzer, and returns a list of mismatches between
+// produced diagnostics and // want expectations. moduleDir anchors
+// import resolution.
+func CheckDir(moduleDir, dir string, a *Analyzer) ([]string, error) {
+	pkg, err := LoadDir(moduleDir, dir)
+	if err != nil {
+		return nil, err
+	}
+	var expected []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					return nil, fmt.Errorf("lint: bad want pattern %q in %s:%d: %v",
+						arg[1], name, i+1, err)
+				}
+				expected = append(expected, &expectation{file: name, line: i + 1, pattern: re})
+			}
+		}
+	}
+
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for _, d := range diags {
+		found := false
+		for _, e := range expected {
+			if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line &&
+				e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, e := range expected {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q",
+				e.file, e.line, e.pattern))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the Runner's bit-reproducibility contract: for a
+// given seed, two simulations must produce byte-identical tables and
+// figures (that is what makes D-NUCA comparisons and EXPERIMENTS.md
+// anchors meaningful). Three constructs break that contract:
+//
+//  1. wall-clock reads (time.Now and friends) leaking into results;
+//  2. the process-global math/rand generator, whose sequence depends on
+//     whatever else consumed it (seeded mathx.RNG / rand.New instances
+//     are fine);
+//  3. iterating a map while directly emitting table, figure, or printed
+//     output, since Go randomizes map iteration order per run.
+//
+// Collecting map keys into a slice and sorting before output is the
+// sanctioned pattern and is not flagged.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, the global math/rand generator, and " +
+		"map-range loops that feed table/figure output",
+	Run: runDeterminism,
+}
+
+// clockFuncs are time-package functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// seededRandFuncs are the math/rand constructors that yield explicitly
+// seeded, deterministic generators; everything else package-level draws
+// from (or perturbs) hidden global state.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// emittingCalls are function/method names that write experiment-visible
+// output when they appear inside a map-range body.
+var emittingCalls = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"AddRow": true, "AddRowStrings": true, "AddHit": true,
+	"WriteText": true, "WriteCSV": true, "Render": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				checkForbiddenRef(pass, node)
+			case *ast.RangeStmt:
+				checkMapRange(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgOf resolves a selector's qualifier to a package, or nil when the
+// selector is not a package-qualified reference.
+func pkgOf(pass *Pass, sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+func checkForbiddenRef(pass *Pass, sel *ast.SelectorExpr) {
+	pkg := pkgOf(pass, sel)
+	if pkg == nil {
+		return
+	}
+	name := sel.Sel.Name
+	switch pkg.Path() {
+	case "time":
+		if clockFuncs[name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulations must be reproducible per seed", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if seededRandFuncs[name] {
+			return
+		}
+		// Referencing a type (rand.Source, rand.Rand) is fine; only
+		// package-level functions and variables touch global state.
+		if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"rand.%s uses the process-global generator; use a seeded instance (mathx.RNG or rand.New)", name)
+	}
+}
+
+// checkMapRange reports ranging over a map when the loop body emits
+// output directly: map order is randomized, so the emitted rows would
+// differ between runs.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var emitter string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if emitter != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if emittingCalls[fn.Sel.Name] {
+				emitter = fn.Sel.Name
+			}
+		case *ast.Ident:
+			if emittingCalls[fn.Name] {
+				emitter = fn.Name
+			}
+		}
+		return true
+	})
+	if emitter != "" {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is random; sort keys before calling %s (output must be reproducible)", emitter)
+	}
+}

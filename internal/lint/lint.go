@@ -1,0 +1,156 @@
+// Package lint is a small, dependency-free analogue of the
+// golang.org/x/tools go/analysis framework, tailored to this repository.
+// It exists because the simulator's correctness argument rests on
+// properties a compiler cannot check — bit-reproducible output, loud
+// invariant panics, no silently dropped metrics — and the module is
+// deliberately stdlib-only, so the real go/analysis cannot be vendored.
+//
+// The shape mirrors go/analysis closely: an Analyzer bundles a name, doc
+// string, and a Run function over a Pass; a Pass exposes the package's
+// syntax trees and full type information and collects Diagnostics. The
+// loader (load.go) typechecks packages from source, resolving imports
+// through compiler export data obtained from `go list -export`, so
+// analyzers see the same types the compiler does.
+//
+// Diagnostics can be suppressed per line with a trailing or preceding
+//
+//	//nurapidlint:ignore <analyzer> <reason>
+//
+// comment, mirroring staticcheck's lint directives.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through the Pass. The returned error signals an analysis failure
+	// (not a finding) and aborts the run.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	ignores map[string][]ignoreDirective // filename -> directives
+	diags   *[]Diagnostic
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+type ignoreDirective struct {
+	line     int
+	analyzer string // "" means all analyzers
+}
+
+// Reportf records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, ig := range p.ignores[position.Filename] {
+		if (ig.analyzer == "" || ig.analyzer == p.Analyzer.Name) &&
+			(ig.line == position.Line || ig.line == position.Line-1) {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// collectIgnores scans a file's comments for //nurapidlint:ignore
+// directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "nurapidlint:ignore") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "nurapidlint:ignore")
+				fields := strings.Fields(rest)
+				dir := ignoreDirective{line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					dir.analyzer = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename], dir)
+			}
+		}
+	}
+	return out
+}
+
+// Run applies each analyzer to each package and returns all diagnostics
+// sorted by position. It fails only on analysis errors, never findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ignores:  ignores,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the repository's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, PanicStyle, StatsReg}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot is the repository root relative to this package.
+const moduleRoot = "../.."
+
+func checkGolden(t *testing.T, a *Analyzer, sub string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", sub)
+	problems, err := CheckDir(moduleRoot, dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) { checkGolden(t, Determinism, "determinism") }
+func TestPanicStyleGolden(t *testing.T)  { checkGolden(t, PanicStyle, "panicstyle") }
+func TestStatsRegGolden(t *testing.T)    { checkGolden(t, StatsReg, "statsreg") }
+
+// TestRepositoryIsClean is the in-process version of the CI gate: the
+// whole module must lint clean under the custom analyzer suite.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	pkgs, err := Load(moduleRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; loader is missing targets", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadTypeInfo spot-checks that the loader produces real type
+// information resolved through export data, not shallow parses.
+func TestLoadTypeInfo(t *testing.T) {
+	pkgs, err := Load(moduleRoot, "./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types.Path() != "nurapid/internal/stats" {
+		t.Fatalf("package path = %q", p.Types.Path())
+	}
+	if p.Types.Scope().Lookup("Counters") == nil {
+		t.Fatal("stats.Counters not in package scope")
+	}
+	if len(p.Info.Uses) == 0 || len(p.Info.Selections) == 0 {
+		t.Fatal("type info is empty")
+	}
+}

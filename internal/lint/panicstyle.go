@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PanicStyle polices how the simulator fails. The d-group machinery
+// (internal/nurapid/dgroup.go) guards its structural invariants with
+// panics; those must be identifiable in a crash log, so every panic
+// message starts with a "<pkg>: " prefix. And panics must stay on
+// invariant paths: a function that can return an error has an error path,
+// so it must use it — with the one sanctioned exception of Must* wrappers
+// that exist precisely to convert errors into panics for static
+// configurations.
+var PanicStyle = &Analyzer{
+	Name: "panicstyle",
+	Doc: "panic messages must carry a \"<pkg>: \" prefix, and functions " +
+		"with an error result must not panic (except Must* wrappers)",
+	Run: runPanicStyle,
+}
+
+func runPanicStyle(pass *Pass) error {
+	prefix := pass.Pkg.Name() + ": "
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPanicsIn(pass, fn, prefix)
+		}
+	}
+	return nil
+}
+
+func checkPanicsIn(pass *Pass, fn *ast.FuncDecl, prefix string) {
+	isMust := strings.HasPrefix(fn.Name.Name, "Must")
+	checkPanicBody(pass, fn.Body, prefix, fn.Name.Name, isMust,
+		resultsIncludeError(pass, fn.Type))
+}
+
+// checkPanicBody walks one function body. Nested function literals are
+// visited with their own error-result flag: a panic inside a literal
+// cannot take the enclosing function's error path.
+func checkPanicBody(pass *Pass, body ast.Node, prefix, fnName string, isMust, returnsError bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkPanicBody(pass, lit.Body, prefix, fnName+" (func literal)", isMust,
+				resultsIncludeError(pass, lit.Type))
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if returnsError && !isMust {
+			pass.Reportf(call.Pos(),
+				"%s returns an error; use the error path instead of panicking (panics are for invariants)",
+				fnName)
+			return true
+		}
+		if isMust {
+			return true // Must* wrappers re-panic arbitrary errors by design
+		}
+		if len(call.Args) == 1 && !panicMsgHasPrefix(pass, call.Args[0], prefix) {
+			pass.Reportf(call.Pos(),
+				"panic message must start with %q so invariant failures are attributable", prefix)
+		}
+		return true
+	})
+}
+
+func resultsIncludeError(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, r := range ft.Results.List {
+		if t := pass.TypeOf(r.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// panicMsgHasPrefix reports whether the panic argument is a string
+// message carrying the package prefix: a string literal, an fmt.Sprintf
+// whose format literal is prefixed, or a concatenation whose leftmost
+// operand is a prefixed literal.
+func panicMsgHasPrefix(pass *Pass, arg ast.Expr, prefix string) bool {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(e.Value); err == nil {
+			return strings.HasPrefix(s, prefix)
+		}
+	case *ast.BinaryExpr:
+		return panicMsgHasPrefix(pass, e.X, prefix)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" && len(e.Args) > 0 {
+			if pkg := pkgOf(pass, sel); pkg != nil && pkg.Path() == "fmt" {
+				return panicMsgHasPrefix(pass, e.Args[0], prefix)
+			}
+		}
+	}
+	// Non-literal messages (wrapped errors, computed strings) are only
+	// allowed in Must* wrappers, handled by the caller.
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsReg enforces the no-silent-metrics rule, modeled on how Sniper's
+// NUCA cache registers every statistic centrally: a struct that exposes a
+// Snapshot method is declaring "these are my metrics", so every
+// counter-shaped field (int64 or float64, the repository's counter and
+// energy types) must be emitted — i.e. referenced — inside that Snapshot
+// method. Adding a counter without wiring it into Snapshot is exactly the
+// silently-dropped-metric bug this analyzer exists to catch.
+//
+// Fields of other types (configs, sub-structs, slices, maps) are exempt;
+// a deliberately internal scratch value can be excluded with a
+// //nurapidlint:ignore statsreg comment on the Snapshot method's
+// declaration line... but prefer emitting it.
+var StatsReg = &Analyzer{
+	Name: "statsreg",
+	Doc: "every int64/float64 field of a struct with a Snapshot method " +
+		"must be referenced in that Snapshot method (no silent metrics)",
+	Run: runStatsReg,
+}
+
+func runStatsReg(pass *Pass) error {
+	// Find Snapshot methods declared in this package, keyed by their
+	// receiver's named type.
+	snapshots := make(map[*types.Named]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Snapshot" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := obj.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				snapshots[named] = fn
+			}
+		}
+	}
+
+	for named, fn := range snapshots {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		emitted := fieldsReferenced(pass, fn)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !isCounterKind(f.Type()) {
+				continue
+			}
+			if !emitted[f] {
+				pass.Reportf(fn.Pos(),
+					"%s.Snapshot does not emit counter field %q; every metric must be reported",
+					named.Obj().Name(), f.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// isCounterKind reports whether t is the repository's counter shape: an
+// int64 or float64, possibly behind a named type.
+func isCounterKind(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Kind() == types.Int64 || basic.Kind() == types.Float64
+}
+
+// fieldsReferenced collects every struct field selected anywhere inside
+// the function body.
+func fieldsReferenced(pass *Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,71 @@
+// Package determinismtest seeds violations for the determinism analyzer.
+package determinismtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var table = map[string]float64{"alpha": 1, "beta": 2}
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `rand\.Intn uses the process-global generator`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses the process-global generator`
+}
+
+func seededRand() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // ok: explicitly seeded instance
+}
+
+func typeRefOnly(r *rand.Rand) int { // ok: rand.Rand is a type, not global state
+	return r.Intn(4)
+}
+
+func emitUnsorted() {
+	for k, v := range table { // want `map iteration order is random`
+		fmt.Printf("%s %f\n", k, v)
+	}
+}
+
+func emitNestedWriter(rows map[string]int) string {
+	var b []byte
+	sink := &builderLike{}
+	for k := range rows { // want `map iteration order is random`
+		sink.WriteString(k)
+	}
+	return string(b)
+}
+
+func emitSorted() {
+	keys := make([]string, 0, len(table))
+	for k := range table { // ok: collect, then sort, then emit
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s %f\n", k, table[k])
+	}
+}
+
+func suppressed() int64 {
+	//nurapidlint:ignore determinism debug timestamp, never reaches results
+	return time.Now().UnixNano()
+}
+
+type builderLike struct{}
+
+func (b *builderLike) WriteString(s string) {}

@@ -1,0 +1,56 @@
+// Package panicpkg seeds violations for the panicstyle analyzer.
+package panicpkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+func invariantGood(n int) {
+	if n < 0 {
+		panic("panicpkg: negative n") // ok: prefixed invariant panic
+	}
+}
+
+func invariantSprintf(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("panicpkg: bad n %d", n)) // ok: prefixed format literal
+	}
+}
+
+func invariantConcat(msg string) {
+	panic("panicpkg: " + msg) // ok: prefixed concatenation
+}
+
+func invariantBad(n int) {
+	if n > 8 {
+		panic("n too large") // want `panic message must start with "panicpkg: "`
+	}
+}
+
+func invariantSprintfBad(n int) {
+	panic(fmt.Sprintf("bad n %d", n)) // want `panic message must start with "panicpkg: "`
+}
+
+func New(n int) (int, error) {
+	if n < 0 {
+		panic("panicpkg: negative") // want `New returns an error; use the error path`
+	}
+	return n, nil
+}
+
+func MustNew(n int) int {
+	v, err := New(n)
+	if err != nil {
+		panic(err) // ok: Must* wrappers convert errors to panics by design
+	}
+	return v
+}
+
+func helper() error {
+	do := func() {
+		panic("panicpkg: invariant inside literal") // ok: the literal has no error result
+	}
+	do()
+	return errors.New("x")
+}

@@ -1,0 +1,47 @@
+// Package statsregtest seeds violations for the statsreg analyzer.
+package statsregtest
+
+// KV mirrors the repository's stats.KV metric sample.
+type KV struct {
+	Name  string
+	Value float64
+}
+
+type goodStats struct {
+	hits   int64
+	misses int64
+	energy float64
+	label  string // non-counter: exempt
+}
+
+func (s *goodStats) Snapshot() []KV { // ok: every counter field emitted
+	return []KV{
+		{Name: "hits", Value: float64(s.hits)},
+		{Name: "misses", Value: float64(s.misses)},
+		{Name: "energy", Value: s.energy},
+	}
+}
+
+type badStats struct {
+	hits    int64
+	dropped int64
+	waste   float64
+}
+
+func (s *badStats) Snapshot() []KV { // want `badStats.Snapshot does not emit counter field "dropped"` `badStats.Snapshot does not emit counter field "waste"`
+	return []KV{{Name: "hits", Value: float64(s.hits)}}
+}
+
+type cycleCount int64
+
+type namedCounter struct {
+	spins cycleCount
+}
+
+func (n namedCounter) Snapshot() []KV { // want `namedCounter.Snapshot does not emit counter field "spins"`
+	return nil
+}
+
+type noContract struct {
+	anything int64 // ok: no Snapshot method, no registration contract
+}

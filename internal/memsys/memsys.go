@@ -92,6 +92,19 @@ func (m *Memory) Write() {
 // EnergyNJ returns total memory energy so far.
 func (m *Memory) EnergyNJ() float64 { return m.energy }
 
+// Snapshot emits the memory model's parameters and traffic counters
+// (statsreg convention: every counter field must appear here).
+func (m *Memory) Snapshot() []stats.KV {
+	return []stats.KV{
+		{Name: "base_latency_cycles", Value: float64(m.BaseLatency)},
+		{Name: "per_chunk_cycles", Value: float64(m.PerChunk)},
+		{Name: "access_nj", Value: m.AccessNJ},
+		{Name: "accesses", Value: float64(m.Accesses)},
+		{Name: "writes", Value: float64(m.Writes)},
+		{Name: "energy_nj", Value: m.energy},
+	}
+}
+
 // Port is an occupancy scoreboard for a single-ported resource: a
 // non-banked cache, or one bank of a multibanked one.
 type Port struct {

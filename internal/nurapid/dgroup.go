@@ -194,12 +194,16 @@ func (g *dgroup) lruUnlink(f int32) {
 	g.next[f] = nilFrame
 }
 
-// checkIntegrity validates the partition lists (tests only): every
-// occupied frame is on exactly one recency list, every free frame on its
-// free list, and counts agree.
+// checkIntegrity validates the partition lists (the auditor's d-group
+// half): every occupied frame is on exactly one recency list with
+// symmetric prev/next pointers and a consistent tail, every free frame on
+// its free list, and counts agree. It runs in O(frames) with a single
+// allocation so Config.Audit can afford it per access.
 func (g *dgroup) checkIntegrity() error {
+	onLRU := make([]bool, len(g.frames))
 	for p := 0; p < g.nParts; p++ {
-		onLRU := make(map[int32]bool)
+		onList := 0
+		last := nilFrame
 		for f := g.lruHead[p]; f != nilFrame; f = g.next[f] {
 			if onLRU[f] {
 				return fmt.Errorf("d-group %d partition %d: recency list cycle at %d", g.id, p, f)
@@ -210,12 +214,25 @@ func (g *dgroup) checkIntegrity() error {
 			if g.partOf(f) != p {
 				return fmt.Errorf("d-group %d: frame %d on wrong partition list %d", g.id, f, p)
 			}
+			if g.prev[f] != last {
+				return fmt.Errorf("d-group %d partition %d: frame %d prev pointer %d, want %d",
+					g.id, p, f, g.prev[f], last)
+			}
 			onLRU[f] = true
+			last = f
+			onList++
+		}
+		if g.lruTail[p] != last {
+			return fmt.Errorf("d-group %d partition %d: recency tail %d, want %d",
+				g.id, p, g.lruTail[p], last)
 		}
 		free := int32(0)
 		for f := g.freeHead[p]; f != nilFrame; f = g.next[f] {
 			if g.frames[f].valid {
 				return fmt.Errorf("d-group %d: occupied frame %d on free list", g.id, f)
+			}
+			if g.partOf(f) != p {
+				return fmt.Errorf("d-group %d: free frame %d on wrong partition list %d", g.id, f, p)
 			}
 			free++
 			if free > int32(g.partSize) {
@@ -231,9 +248,9 @@ func (g *dgroup) checkIntegrity() error {
 				occupied++
 			}
 		}
-		if occupied != len(onLRU) {
+		if occupied != onList {
 			return fmt.Errorf("d-group %d partition %d: %d occupied frames but %d on recency list",
-				g.id, p, occupied, len(onLRU))
+				g.id, p, occupied, onList)
 		}
 		if occupied+int(free) != g.partSize {
 			return fmt.Errorf("d-group %d partition %d: %d occupied + %d free != %d",

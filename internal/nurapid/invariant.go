@@ -1,0 +1,126 @@
+package nurapid
+
+import (
+	"fmt"
+
+	"nurapid/internal/memsys"
+)
+
+// This file is the runtime invariant auditor. The paper's correctness
+// argument (Sec. 2.2-2.4) rests on structural invariants the type system
+// cannot express:
+//
+//   - pointer bijection: every valid tag entry's forward pointer names
+//     exactly one data frame, and that frame's reverse pointer names the
+//     tag entry back — no dangling and no double-mapped frames;
+//   - occupancy conservation: a demotion ripple moves blocks between
+//     d-groups but never creates or destroys them, so occupied frames
+//     always equal valid tag entries, and each partition's occupied plus
+//     free frames equal its capacity;
+//   - recency-list well-formedness: each partition's intrusive LRU stack
+//     is an acyclic, pointer-symmetric chain over exactly its occupied
+//     frames, and its free list covers exactly its free frames.
+//
+// CheckInvariants verifies all of it in O(tags + frames). With
+// Config.Audit set, every access re-verifies the full set plus the
+// access-level occupancy delta, and the first violation panics.
+
+// CheckInvariants verifies the forward/reverse pointer bijection and the
+// internal list structures; tests call it after random operation storms,
+// and Config.Audit calls it after every access. It never panics on
+// corrupt state — corruption comes back as an error naming the first
+// inconsistency found.
+func (c *Cache) CheckInvariants() error {
+	// Every valid tag entry's forward pointer must land, within its own
+	// partition, on a distinct occupied frame whose reverse pointer
+	// points back.
+	claimed := make([]bool, len(c.groups)*c.framesPerGroup)
+	validTags := 0
+	for set := 0; set < c.geo.NumSets(); set++ {
+		for way := 0; way < c.geo.Assoc; way++ {
+			l := c.tags.Line(set, way)
+			if !l.Valid {
+				continue
+			}
+			validTags++
+			if l.Aux <= 0 || int(l.Aux-1) >= len(claimed) {
+				return fmt.Errorf("tag (%d,%d): forward pointer %d out of range", set, way, l.Aux)
+			}
+			gid := int(l.Aux - 1)
+			g, f := gid/c.framesPerGroup, int32(gid%c.framesPerGroup)
+			if claimed[gid] {
+				return fmt.Errorf("frame %d/%d double-mapped; tag (%d,%d) claims an already-claimed frame",
+					g, f, set, way)
+			}
+			claimed[gid] = true
+			m := c.groups[g].frames[f]
+			if !m.valid {
+				return fmt.Errorf("tag (%d,%d): forward pointer to empty frame %d/%d", set, way, g, f)
+			}
+			if int(m.set) != set || int(m.way) != way {
+				return fmt.Errorf("frame %d/%d reverse pointer (%d,%d) != tag (%d,%d)",
+					g, f, m.set, m.way, set, way)
+			}
+			if c.partition(int32(set)) != c.groups[g].partOf(f) {
+				return fmt.Errorf("tag (%d,%d) placed outside its partition", set, way)
+			}
+		}
+	}
+	// Every occupied frame must be claimed by exactly one tag entry;
+	// counting both directions establishes the bijection. checkIntegrity
+	// covers the per-partition recency/free list structure.
+	occupied := 0
+	for gi, g := range c.groups {
+		if err := g.checkIntegrity(); err != nil {
+			return err
+		}
+		for f := range g.frames {
+			if g.frames[f].valid {
+				occupied++
+				if !claimed[gi*c.framesPerGroup+f] {
+					return fmt.Errorf("frame %d/%d occupied but claimed by no tag entry", gi, f)
+				}
+			}
+		}
+	}
+	if occupied != validTags {
+		return fmt.Errorf("%d occupied frames but %d valid tags", occupied, validTags)
+	}
+	return nil
+}
+
+// occupiedFrames returns the number of occupied data frames across all
+// d-groups, derived from the free-list accounting.
+func (c *Cache) occupiedFrames() int {
+	n := 0
+	for _, g := range c.groups {
+		n += g.numFrames()
+		for p := 0; p < g.nParts; p++ {
+			n -= int(g.freeCount[p])
+		}
+	}
+	return n
+}
+
+// auditedAccess wraps one access with the conservation argument: a hit
+// (with or without promotion ripples) moves blocks but conserves total
+// occupancy; a miss adds exactly one block, minus one per eviction. It
+// then re-verifies the full structural invariants.
+func (c *Cache) auditedAccess(now int64, addr uint64, write bool) memsys.AccessResult {
+	occBefore := c.occupiedFrames()
+	evBefore := c.ctrs.Get("evictions")
+	res := c.access(now, addr, write)
+	occAfter := c.occupiedFrames()
+	want := occBefore
+	if !res.Hit {
+		want += 1 - int(c.ctrs.Get("evictions")-evBefore)
+	}
+	if occAfter != want {
+		panic(fmt.Sprintf("nurapid: audit: occupancy not conserved across access of %#x: %d -> %d, want %d (hit=%v)",
+			addr, occBefore, occAfter, want, res.Hit))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("nurapid: audit: invariant violated after access of %#x: %v", addr, err))
+	}
+	return res
+}

@@ -129,6 +129,13 @@ type Config struct {
 	PromoteHits int
 
 	Seed uint64 // seed for random distance replacement
+
+	// Audit, when true, re-verifies the cache's structural invariants
+	// (forward/reverse pointer bijection, d-group occupancy conservation,
+	// recency-list well-formedness) after every access and panics on the
+	// first violation. It makes each access cost O(frames) — for tests
+	// and debugging only, never for performance runs.
+	Audit bool
 }
 
 // DefaultConfig is the paper's primary design: 8 MB, 8-way, 128-B blocks,
@@ -312,6 +319,13 @@ func (c *Cache) chargeAccess(g int) {
 
 // Access implements memsys.LowerLevel.
 func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+	if c.cfg.Audit {
+		return c.auditedAccess(now, addr, write)
+	}
+	return c.access(now, addr, write)
+}
+
+func (c *Cache) access(now int64, addr uint64, write bool) memsys.AccessResult {
 	c.ctrs.Inc("accesses")
 	set := c.geo.SetIndex(addr)
 	way, hit := c.tags.Lookup(addr)
@@ -457,6 +471,22 @@ func (c *Cache) Counters() *stats.Counters {
 	return &c.ctrs
 }
 
+// Snapshot emits the cache's latency/energy parameters, event counters,
+// and per-d-group access counts (statsreg convention: every counter
+// field must appear here).
+func (c *Cache) Snapshot() []stats.KV {
+	out := []stats.KV{
+		{Name: "tag_latency_cycles", Value: float64(c.tagLat)},
+		{Name: "tag_access_nj", Value: c.tagNJ},
+		{Name: "energy_nj", Value: c.energy},
+	}
+	out = append(out, c.Counters().Snapshot()...)
+	for g, n := range c.GroupAccesses() {
+		out = append(out, stats.KV{Name: fmt.Sprintf("dgroup_%d_accesses", g), Value: float64(n)})
+	}
+	return out
+}
+
 // GroupAccesses returns the number of data-array accesses per d-group —
 // the quantity behind the paper's "61% fewer d-group accesses than NUCA"
 // claim.
@@ -503,55 +533,6 @@ func (c *Cache) PointerBits() int {
 		reach = c.cfg.RestrictFrames
 	}
 	return mathx.Log2(int64(reach*len(c.groups)-1)) + 1
-}
-
-// CheckInvariants verifies the forward/reverse pointer bijection and the
-// internal list structures; tests call it after random operation storms.
-func (c *Cache) CheckInvariants() error {
-	// Every valid tag entry's forward pointer must land on a frame whose
-	// reverse pointer points back.
-	validTags := 0
-	for set := 0; set < c.geo.NumSets(); set++ {
-		for way := 0; way < c.geo.Assoc; way++ {
-			l := c.tags.Line(set, way)
-			if !l.Valid {
-				continue
-			}
-			validTags++
-			g, f := c.decodeFrame(l.Aux)
-			if g < 0 || g >= len(c.groups) || int(f) >= c.framesPerGroup {
-				return fmt.Errorf("tag (%d,%d): forward pointer out of range", set, way)
-			}
-			m := c.groups[g].frames[f]
-			if !m.valid {
-				return fmt.Errorf("tag (%d,%d): forward pointer to empty frame %d/%d", set, way, g, f)
-			}
-			if int(m.set) != set || int(m.way) != way {
-				return fmt.Errorf("frame %d/%d reverse pointer (%d,%d) != tag (%d,%d)",
-					g, f, m.set, m.way, set, way)
-			}
-			if c.partition(int32(set)) != c.groups[g].partOf(f) {
-				return fmt.Errorf("tag (%d,%d) placed outside its partition", set, way)
-			}
-		}
-	}
-	// Every occupied frame must be claimed by exactly one tag entry;
-	// counting both directions establishes the bijection.
-	occupied := 0
-	for _, g := range c.groups {
-		if err := g.checkIntegrity(); err != nil {
-			return err
-		}
-		for f := range g.frames {
-			if g.frames[f].valid {
-				occupied++
-			}
-		}
-	}
-	if occupied != validTags {
-		return fmt.Errorf("%d occupied frames but %d valid tags", occupied, validTags)
-	}
-	return nil
 }
 
 var _ memsys.LowerLevel = (*Cache)(nil)

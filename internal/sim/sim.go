@@ -5,6 +5,8 @@ package sim
 
 import (
 	"fmt"
+	"io"
+	"sort"
 
 	"nurapid/internal/cacti"
 	"nurapid/internal/cpu"
@@ -83,6 +85,21 @@ type RunResult struct {
 
 	Energy energy.Breakdown
 	ED     float64
+}
+
+// Snapshot emits the run's headline metrics plus the nested CPU summary
+// (statsreg convention: every counter field must appear here).
+func (r *RunResult) Snapshot() []stats.KV {
+	out := []stats.KV{
+		{Name: "l2_energy_nj", Value: r.L2EnergyNJ},
+		{Name: "mem_energy_nj", Value: r.MemEnergyNJ},
+		{Name: "mem_accesses", Value: float64(r.MemAccesses)},
+		{Name: "energy_delay", Value: r.ED},
+	}
+	for _, kv := range r.CPU.Snapshot() {
+		out = append(out, stats.KV{Name: "cpu_" + kv.Name, Value: kv.Value})
+	}
+	return out
 }
 
 // Runner executes and memoizes simulations so experiments sharing a
@@ -174,6 +191,47 @@ type Experiment struct {
 	// Metrics holds the experiment's headline numbers, keyed by a short
 	// slug (e.g. "avg_rel_perf_next_fastest").
 	Metrics map[string]float64
+}
+
+// Render writes the experiment the way cmd/experiments prints it: the
+// table (aligned text, or CSV when csv is set), the chart (text mode
+// only), and the headline metrics sorted by key. For a fixed Runner seed
+// the bytes written are identical across runs — a tested guarantee
+// (determinism_test.go) that keeps regenerated tables diffable.
+func (e *Experiment) Render(w io.Writer, csv bool) error {
+	if csv {
+		if err := e.Table.WriteCSV(w); err != nil {
+			return err
+		}
+	} else {
+		if err := e.Table.WriteText(w); err != nil {
+			return err
+		}
+		if e.Chart != nil {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			if err := e.Chart.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	if len(e.Metrics) > 0 {
+		if _, err := fmt.Fprintln(w, "headline metrics:"); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(e.Metrics))
+		for k := range e.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "  %-32s %.4f\n", k, e.Metrics[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // standard NuRAPID configurations used across experiments.

@@ -1,0 +1,31 @@
+package stats
+
+// KV is one named metric sample. Slices of KV are the repository's
+// snapshot convention: any struct that accumulates counters exposes a
+// Snapshot method returning every metric it holds, in a deterministic
+// order, and the statsreg analyzer (internal/lint) verifies no counter
+// field is silently omitted.
+type KV struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot emits every counter, sorted by name.
+func (c *Counters) Snapshot() []KV {
+	names := c.Names()
+	out := make([]KV, len(names))
+	for i, n := range names {
+		out[i] = KV{Name: n, Value: float64(c.m[n])}
+	}
+	return out
+}
+
+// Snapshot emits the per-category hit counts in category order, then the
+// miss count.
+func (d *Distribution) Snapshot() []KV {
+	out := make([]KV, 0, len(d.labels)+1)
+	for i, l := range d.labels {
+		out = append(out, KV{Name: "hits_" + l, Value: float64(d.counts[i])})
+	}
+	return append(out, KV{Name: "misses", Value: float64(d.misses)})
+}

@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCountersSnapshotSortedAndComplete(t *testing.T) {
+	var c Counters
+	c.Add("zeta", 3)
+	c.Add("alpha", 1)
+	c.Inc("mid")
+	got := c.Snapshot()
+	want := []KV{{Name: "alpha", Value: 1}, {Name: "mid", Value: 1}, {Name: "zeta", Value: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+}
+
+func TestDistributionSnapshotOrder(t *testing.T) {
+	d := NewDistribution("near", "far")
+	d.AddHit(0)
+	d.AddHit(0)
+	d.AddHit(1)
+	d.AddMiss()
+	got := d.Snapshot()
+	want := []KV{{Name: "hits_near", Value: 2}, {Name: "hits_far", Value: 1}, {Name: "misses", Value: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+}

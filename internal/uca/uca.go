@@ -5,6 +5,8 @@
 package uca
 
 import (
+	"fmt"
+
 	"nurapid/internal/cache"
 	"nurapid/internal/cacti"
 	"nurapid/internal/memsys"
@@ -74,7 +76,7 @@ func NewIdeal(m *cacti.Model, mem *memsys.Memory) *Uniform {
 		AccessNJ:  m.DataAccessNJ(2),
 	}, mem)
 	if err != nil {
-		panic(err) // static configuration, cannot fail
+		panic(fmt.Sprintf("uca: ideal configuration invalid: %v", err)) // static, cannot fail
 	}
 	return u
 }
