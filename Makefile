@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt bench audit ci
+.PHONY: build test race race-runner lint fmt bench bench-runner audit ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-runner: the parallel experiment runner's determinism contract —
+# All() on an 8-worker pool must render the same bytes as the serial
+# runner — plus the singleflight and observer machinery, under -race.
+race-runner:
+	$(GO) test -race -count=1 -run 'TestParallel|TestSingleflight|TestPrefetch|TestSerialPrefetch|TestTextObserver|TestObserver|TestClock' ./internal/sim/
 
 # lint = custom analyzers (determinism, panicstyle, statsreg) + go vet,
 # via the multichecker, plus a gofmt cleanliness check.
@@ -31,8 +37,13 @@ fmt:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# bench-runner: time serial vs parallel Fig6 regeneration and record
+# the wall times and speedup in BENCH_runner.json.
+bench-runner:
+	BENCH_RUNNER_JSON=$(CURDIR)/BENCH_runner.json $(GO) test -count=1 -run '^TestBenchRunnerSmoke$$' -v .
+
 # audit: the randomized invariant storm at full length.
 audit:
 	$(GO) test ./internal/nurapid/ -run TestAuditedAccessStorm -v
 
-ci: build test race lint bench
+ci: build test race race-runner lint bench bench-runner

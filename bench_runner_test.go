@@ -1,0 +1,94 @@
+package nurapid
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nurapid/internal/sim"
+	"nurapid/internal/workload"
+)
+
+// runnerBench is the record the bench smoke writes to BENCH_runner.json
+// so the runner's perf trajectory is tracked across PRs.
+type runnerBench struct {
+	Experiment   string  `json:"experiment"`
+	Apps         int     `json:"apps"`
+	Instructions int64   `json:"instructions_per_run"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	SerialNS     int64   `json:"serial_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// TestBenchRunnerSmoke times a full multi-org experiment (Figure 6:
+// base + three promotion policies + ideal, across the bench roster) on
+// the serial runner and on a worker-per-core pool, verifies the two
+// render identical bytes, and records the wall times. It only runs when
+// BENCH_RUNNER_JSON names the output file (make bench-runner / CI), so
+// plain `go test ./...` stays timing-free.
+func TestBenchRunnerSmoke(t *testing.T) {
+	out := os.Getenv("BENCH_RUNNER_JSON")
+	if out == "" {
+		t.Skip("set BENCH_RUNNER_JSON=<path> to run the runner bench smoke")
+	}
+
+	var apps []workload.App
+	for _, name := range benchApps {
+		a, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("app %s missing", name)
+		}
+		apps = append(apps, a)
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	timeFig6 := func(w int) (time.Duration, string) {
+		r := sim.NewRunner(
+			sim.WithInstructions(benchInstructions),
+			sim.WithSeed(1),
+			sim.WithApps(apps...),
+			sim.WithWorkers(w),
+		)
+		start := time.Now()
+		e := r.Fig6()
+		elapsed := time.Since(start)
+		var buf bytes.Buffer
+		if err := e.Render(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, buf.String()
+	}
+
+	serial, serialBytes := timeFig6(1)
+	parallel, parallelBytes := timeFig6(workers)
+	if serialBytes != parallelBytes {
+		t.Fatalf("serial and parallel Fig6 rendered different bytes (%d vs %d)",
+			len(serialBytes), len(parallelBytes))
+	}
+
+	rec := runnerBench{
+		Experiment:   "fig6",
+		Apps:         len(apps),
+		Instructions: benchInstructions,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		SerialNS:     serial.Nanoseconds(),
+		ParallelNS:   parallel.Nanoseconds(),
+		Speedup:      float64(serial) / float64(parallel),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig6 serial %v, parallel %v on %d workers (%.2fx); recorded in %s",
+		serial, parallel, workers, rec.Speedup, out)
+}

@@ -7,6 +7,7 @@
 package nurapid
 
 import (
+	"runtime"
 	"testing"
 
 	"nurapid/internal/sim"
@@ -22,7 +23,11 @@ var benchApps = []string{"applu", "art", "mcf", "galgel", "gzip"}
 
 func benchRunner(b *testing.B) *sim.Runner {
 	b.Helper()
-	r := sim.NewRunner(benchInstructions, 1)
+	return benchRunnerWorkers(b, 1)
+}
+
+func benchRunnerWorkers(b *testing.B, workers int) *sim.Runner {
+	b.Helper()
 	var apps []workload.App
 	for _, name := range benchApps {
 		a, ok := workload.ByName(name)
@@ -31,8 +36,12 @@ func benchRunner(b *testing.B) *sim.Runner {
 		}
 		apps = append(apps, a)
 	}
-	r.Apps = apps
-	return r
+	return sim.NewRunner(
+		sim.WithInstructions(benchInstructions),
+		sim.WithSeed(1),
+		sim.WithApps(apps...),
+		sim.WithWorkers(workers),
+	)
 }
 
 func report(b *testing.B, e *sim.Experiment, keys ...string) {
@@ -151,6 +160,25 @@ func BenchmarkFig11EnergyDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := benchRunner(b).Fig11()
 		report(b, e, "ed_nurapid", "ed_dnuca_perf", "ed_improvement")
+	}
+}
+
+// BenchmarkFig6Serial regenerates Figure 6 on the serial runner; the
+// parallel variant below is the same work on a GOMAXPROCS-wide pool.
+// Comparing the two pins the runner's parallel speedup (the numbers
+// behind BENCH_runner.json; see TestBenchRunnerSmoke).
+func BenchmarkFig6Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchRunnerWorkers(b, 1).Fig6()
+		report(b, e, "rel_next_fastest")
+	}
+}
+
+// BenchmarkFig6Parallel regenerates Figure 6 with a worker per core.
+func BenchmarkFig6Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchRunnerWorkers(b, runtime.GOMAXPROCS(0)).Fig6()
+		report(b, e, "rel_next_fastest")
 	}
 }
 

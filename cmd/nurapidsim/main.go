@@ -61,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := sim.NewRunner(*n, *seed)
+	r := sim.NewRunner(sim.WithInstructions(*n), sim.WithSeed(*seed))
 	res := r.Run(app, org)
 
 	fmt.Printf("application: %s    organization: %s\n", res.App, res.Org)

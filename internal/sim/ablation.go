@@ -47,6 +47,11 @@ func (r *Runner) Ablation() *Experiment {
 		mkDNUCA("dnuca ss-energy", nuca.SSEnergy),
 		mkDNUCA("dnuca incremental", nuca.Incremental),
 	}
+	prefetch := []Organization{Base()}
+	for _, v := range variants {
+		prefetch = append(prefetch, v.org)
+	}
+	r.Prefetch(r.Apps, prefetch)
 
 	t := stats.NewTable("Ablations: design-choice sensitivity (averages over all applications)",
 		"variant", "rel perf", "g1 accesses", "L2 energy (nJ/1k instr)", "swaps")

@@ -10,8 +10,7 @@ import (
 // as cmd/experiments would print them.
 func renderExperiments(t *testing.T, seed uint64) string {
 	t.Helper()
-	r := smallRunner(t)
-	r.Seed = seed
+	r := smallRunner(t, WithSeed(seed))
 	var b strings.Builder
 	for _, e := range []*Experiment{r.Table4(), r.Fig4(), r.Fig7(), r.Fig11()} {
 		if err := e.Render(&b, false); err != nil {

@@ -9,6 +9,16 @@ import (
 	"nurapid/internal/vis"
 )
 
+// groupCountOrgs returns the 2-, 4-, and 8-d-group NuRAPIDs Figures 7
+// and 8 sweep over.
+func groupCountOrgs() []Organization {
+	orgs := make([]Organization, 0, 3)
+	for _, n := range []int{2, 4, 8} {
+		orgs = append(orgs, NuRAPID(nurapidCfg(n, nurapid.NextFastest, nurapid.RandomDistance)))
+	}
+	return orgs
+}
+
 // meanAt averages column i of a set of fraction vectors.
 func meanAt(rows [][]float64, i int) float64 {
 	if len(rows) == 0 {
@@ -32,6 +42,7 @@ func (r *Runner) Fig4() *Experiment {
 	saCfg.Placement = nurapid.SetAssociative
 	sa := NuRAPID(saCfg)
 	da := NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance))
+	r.Prefetch(r.Apps, []Organization{sa, da})
 
 	t := stats.NewTable("Figure 4: d-group access distribution, set-associative (a) vs distance-associative (b) placement",
 		"benchmark", "a:g1", "a:g2", "a:g3+4", "a:miss", "b:g1", "b:g2", "b:g3+4", "b:miss")
@@ -81,6 +92,7 @@ func (r *Runner) Fig5() *Experiment {
 		{"next-fastest", NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance))},
 		{"fastest", NuRAPID(nurapidCfg(4, nurapid.Fastest, nurapid.RandomDistance))},
 	}
+	r.Prefetch(r.Apps, []Organization{orgs[0].org, orgs[1].org, orgs[2].org})
 	t := stats.NewTable("Figure 5: d-group access distribution per promotion policy",
 		"benchmark", "policy", "g1", "g2", "g3", "g4", "miss")
 	fracs := map[string][][]float64{}
@@ -124,6 +136,11 @@ func (r *Runner) Fig6() *Experiment {
 		{"fastest", NuRAPID(nurapidCfg(4, nurapid.Fastest, nurapid.RandomDistance))},
 		{"ideal", Ideal()},
 	}
+	prefetch := []Organization{Base()}
+	for _, o := range orgs {
+		prefetch = append(prefetch, o.org)
+	}
+	r.Prefetch(r.Apps, prefetch)
 	t := stats.NewTable("Figure 6: performance relative to base L2/L3 hierarchy",
 		"benchmark", "demotion-only", "next-fastest", "fastest", "ideal")
 	rel := map[string][]float64{}
@@ -183,6 +200,11 @@ func (r *Runner) LRUStudy() *Experiment {
 		{"next-fastest/random", NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance))},
 		{"next-fastest/lru", NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.LRUDistance))},
 	}
+	prefetch := make([]Organization, len(combos))
+	for i, c := range combos {
+		prefetch[i] = c.org
+	}
+	r.Prefetch(r.Apps, prefetch)
 	t := stats.NewTable("Sec 5.3.1: distance-replacement selection policy (avg first d-group accesses)",
 		"policy", "g1 accesses")
 	metrics := map[string]float64{}
@@ -200,6 +222,7 @@ func (r *Runner) LRUStudy() *Experiment {
 // Fig7 shows the access distribution of 2-, 4-, and 8-d-group NuRAPIDs
 // (paper Figure 7): first-group accesses, remaining-group hits, misses.
 func (r *Runner) Fig7() *Experiment {
+	r.Prefetch(r.Apps, groupCountOrgs())
 	t := stats.NewTable("Figure 7: d-group access distribution for 2, 4, and 8 d-groups",
 		"benchmark", "2g:g1", "2g:rest", "2g:miss", "4g:g1", "4g:rest", "4g:miss",
 		"8g:g1", "8g:rest", "8g:miss")
@@ -240,6 +263,7 @@ func (r *Runner) Fig7() *Experiment {
 // relative to the base hierarchy (paper Figure 8), and reports the
 // promotion-swap ratio between the 8- and 4-d-group configurations.
 func (r *Runner) Fig8() *Experiment {
+	r.Prefetch(r.Apps, append([]Organization{Base()}, groupCountOrgs()...))
 	t := stats.NewTable("Figure 8: performance of 2, 4, and 8 d-groups relative to base",
 		"benchmark", "2 d-groups", "4 d-groups", "8 d-groups")
 	rel := map[int][]float64{}
@@ -287,6 +311,7 @@ func (r *Runner) Fig9() *Experiment {
 	dn := DNUCA(nuca.DefaultConfig())
 	n4 := NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance))
 	n8 := NuRAPID(nurapidCfg(8, nurapid.NextFastest, nurapid.RandomDistance))
+	r.Prefetch(r.Apps, []Organization{Base(), dn, n4, n8})
 	t := stats.NewTable("Figure 9: performance relative to base (D-NUCA ss-performance vs NuRAPID)",
 		"benchmark", "D-NUCA", "NuRAPID 4g", "NuRAPID 8g")
 	var rd, r4, r8 []float64
@@ -333,6 +358,7 @@ func (r *Runner) Fig10() *Experiment {
 	dnCfg.Policy = nuca.SSEnergy
 	dn := DNUCA(dnCfg)
 	n4 := NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance))
+	r.Prefetch(r.Apps, []Organization{Base(), dn, n4})
 	t := stats.NewTable("Figure 10: L2 dynamic energy (nJ per 1000 instructions)",
 		"benchmark", "base L2/L3", "D-NUCA (ss-energy)", "NuRAPID 4g", "NuRAPID/D-NUCA")
 	var ratios, reds, perBase, perDN, perNu []float64
@@ -386,6 +412,7 @@ func (r *Runner) Fig11() *Experiment {
 	dnCfg.Policy = nuca.SSEnergy
 	dnEnergy := DNUCA(dnCfg)
 	n4 := NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance))
+	r.Prefetch(r.Apps, []Organization{Base(), dnPerf, dnEnergy, n4})
 	t := stats.NewTable("Figure 11: processor energy-delay relative to base",
 		"benchmark", "D-NUCA (ss-perf)", "D-NUCA (ss-energy)", "NuRAPID 4g")
 	var rp, re, rn []float64

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"time"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/workload"
+)
+
+// Option configures a Runner at construction time.
+type Option func(*Runner)
+
+// NewRunner builds a runner with the paper's defaults — the calibrated
+// 70-nm model, 2M instructions per run, seed 1, the 15-application
+// roster, serial execution — overridden by the given options.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{
+		Model:        cacti.Default(),
+		Instructions: 2_000_000,
+		Seed:         1,
+		Apps:         workload.Apps(),
+		Workers:      1,
+		memo:         make(map[string]*memoCell),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// NewRunnerSeeded is the pre-options constructor.
+//
+// Deprecated: use NewRunner(WithInstructions(instructions),
+// WithSeed(seed)).
+func NewRunnerSeeded(instructions int64, seed uint64) *Runner {
+	return NewRunner(WithInstructions(instructions), WithSeed(seed))
+}
+
+// WithInstructions sets the number of instructions simulated per run.
+func WithInstructions(n int64) Option {
+	return func(r *Runner) { r.Instructions = n }
+}
+
+// WithSeed sets the workload seed. Rendered output is a pure function of
+// the seed (and the run parameters), regardless of worker count.
+func WithSeed(seed uint64) Option {
+	return func(r *Runner) { r.Seed = seed }
+}
+
+// WithWorkers bounds the worker pool that executes prefetched runs.
+// n <= 1 selects the serial runner; experiments then execute each
+// simulation on demand, in the order the tables are assembled.
+func WithWorkers(n int) Option {
+	return func(r *Runner) { r.Workers = n }
+}
+
+// WithModel substitutes the physical timing/energy model.
+func WithModel(m *cacti.Model) Option {
+	return func(r *Runner) { r.Model = m }
+}
+
+// WithApps replaces the application roster.
+func WithApps(apps ...workload.App) Option {
+	return func(r *Runner) { r.Apps = apps }
+}
+
+// WithObserver attaches an observer for run lifecycle events. The
+// Runner serializes Observe calls, so the observer needs no locking.
+func WithObserver(o Observer) Option {
+	return func(r *Runner) { r.observer = o }
+}
+
+// WithClock supplies a monotonic clock used only to stamp
+// RunEvent.Elapsed. The default (nil) leaves Elapsed zero, keeping the
+// sim package free of wall-clock reads; callers that want real timings
+// (cmd/experiments) inject one.
+func WithClock(now func() time.Duration) Option {
+	return func(r *Runner) { r.clock = now }
+}

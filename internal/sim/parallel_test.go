@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// renderEverything regenerates every experiment — the full paper set
+// plus the three sweeps — on a runner with the given worker count and
+// returns the rendered bytes (text and CSV), exactly as cmd/experiments
+// would print them.
+func renderEverything(t *testing.T, workers int) string {
+	t.Helper()
+	r := smallRunner(t, WithInstructions(60_000), WithWorkers(workers))
+	exps := r.All()
+	exps = append(exps, r.CapacitySweep(), r.BlockSweep(), r.TechSweep())
+	var b strings.Builder
+	for _, e := range exps {
+		if err := e.Render(&b, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Render(&b, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelAllMatchesSerial is the parallel runner's determinism
+// contract: rendering every experiment on an 8-worker pool must produce
+// the same bytes as the serial runner at the same seed. Run under
+// -race (make race-runner / CI) this also shakes out data races in the
+// fan-out and singleflight layers.
+func TestParallelAllMatchesSerial(t *testing.T) {
+	serial := renderEverything(t, 1)
+	parallel := renderEverything(t, 8)
+	if serial != parallel {
+		t.Fatalf("parallel rendering diverged from serial:\nserial %d bytes, parallel %d bytes\nfirst diff near %q",
+			len(serial), len(parallel), firstDiff(serial, parallel))
+	}
+	if len(serial) == 0 {
+		t.Fatal("rendered output is empty")
+	}
+}
+
+// TestSingleflightConcurrentRun proves the memo is singleflight:
+// concurrent Run calls for the same (app, org) must execute the
+// simulation exactly once and share the one result.
+func TestSingleflightConcurrentRun(t *testing.T) {
+	starts := 0
+	obs := ObserverFunc(func(e RunEvent) {
+		if e.Kind == RunStart {
+			starts++
+		}
+	})
+	r := smallRunner(t, WithInstructions(60_000), WithObserver(obs))
+	app := r.Apps[0]
+
+	const callers = 16
+	results := make([]*RunResult, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(app, Base())
+		}(i)
+	}
+	wg.Wait()
+
+	if starts != 1 {
+		t.Fatalf("simulation executed %d times for one key, want exactly 1", starts)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("caller %d got nil result", i)
+		}
+		if res != results[0] {
+			t.Fatalf("caller %d got a different result object", i)
+		}
+	}
+}
+
+// TestPrefetchWarmsMemo checks that Prefetch executes the submitted
+// matrix on the pool, so subsequent Run calls are pure memo lookups
+// (no further events).
+func TestPrefetchWarmsMemo(t *testing.T) {
+	finishes := 0
+	obs := ObserverFunc(func(e RunEvent) {
+		if e.Kind == RunFinish {
+			finishes++
+		}
+	})
+	r := smallRunner(t, WithInstructions(60_000), WithWorkers(4), WithObserver(obs))
+	orgs := []Organization{Base(), Ideal()}
+	r.Prefetch(r.Apps, orgs)
+	want := len(r.Apps) * len(orgs)
+	if finishes != want {
+		t.Fatalf("prefetch executed %d runs, want %d", finishes, want)
+	}
+	for _, app := range r.Apps {
+		for _, org := range orgs {
+			r.Run(app, org)
+		}
+	}
+	if finishes != want {
+		t.Fatalf("memoized Run re-executed: %d events, want %d", finishes, want)
+	}
+}
+
+// TestSerialPrefetchIsLazy pins the serial runner's behaviour: with
+// Workers <= 1, Prefetch defers to on-demand execution so progress
+// events keep today's table-assembly order.
+func TestSerialPrefetchIsLazy(t *testing.T) {
+	events := 0
+	r := smallRunner(t, WithInstructions(60_000),
+		WithObserver(ObserverFunc(func(RunEvent) { events++ })))
+	r.Prefetch(r.Apps, []Organization{Base()})
+	if events != 0 {
+		t.Fatalf("serial Prefetch executed %d events, want 0 (lazy)", events)
+	}
+	r.Run(r.Apps[0], Base())
+	if events != 2 {
+		t.Fatalf("on-demand run emitted %d events, want start+finish", events)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"nurapid/internal/cacti"
 	"nurapid/internal/cpu"
@@ -24,22 +26,34 @@ import (
 type L2Factory func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel
 
 // Organization pairs a short key with a factory; the experiments select
-// organizations by key.
+// organizations by key. BlockBytes is the organization's block size, so
+// the runner can build a matching memory model; zero means the paper's
+// 128-B default.
 type Organization struct {
-	Key     string
-	Factory L2Factory
+	Key        string
+	BlockBytes int
+	Factory    L2Factory
+}
+
+// blockBytes returns the organization's block size, defaulting to the
+// paper's 128 B for hand-built organizations that leave it unset.
+func (o Organization) blockBytes() int {
+	if o.BlockBytes > 0 {
+		return o.BlockBytes
+	}
+	return uca.BlockBytes
 }
 
 // Base returns the conventional L2/L3 hierarchy (the paper's base case).
 func Base() Organization {
-	return Organization{Key: "base", Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+	return Organization{Key: "base", BlockBytes: uca.BlockBytes, Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
 		return uca.NewHierarchy(m, mem)
 	}}
 }
 
 // Ideal returns the constant-fastest-latency bound of Figure 6.
 func Ideal() Organization {
-	return Organization{Key: "ideal", Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+	return Organization{Key: "ideal", BlockBytes: uca.BlockBytes, Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
 		return uca.NewIdeal(m, mem)
 	}}
 }
@@ -56,14 +70,21 @@ func NuRAPID(cfg nurapid.Config) Organization {
 	if cfg.PromoteHits > 1 {
 		key += fmt.Sprintf("-t%d", cfg.PromoteHits)
 	}
-	return Organization{Key: key, Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+	if cfg.BlockBytes != 128 {
+		key += fmt.Sprintf("-b%d", cfg.BlockBytes)
+	}
+	return Organization{Key: key, BlockBytes: cfg.BlockBytes, Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
 		return nurapid.MustNew(cfg, m, mem)
 	}}
 }
 
 // DNUCA returns a D-NUCA organization with the given configuration.
 func DNUCA(cfg nuca.Config) Organization {
-	return Organization{Key: "dnuca-" + cfg.Policy.String(), Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+	key := "dnuca-" + cfg.Policy.String()
+	if cfg.BlockBytes != 128 {
+		key += fmt.Sprintf("-b%d", cfg.BlockBytes)
+	}
+	return Organization{Key: key, BlockBytes: cfg.BlockBytes, Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
 		return nuca.MustNew(cfg, m, mem)
 	}}
 }
@@ -104,68 +125,169 @@ func (r *RunResult) Snapshot() []stats.KV {
 
 // Runner executes and memoizes simulations so experiments sharing a
 // configuration (every figure needs the base runs) pay for it once.
+//
+// A Runner is safe for concurrent use: the memo is singleflight — the
+// first caller for a (app, org) key executes the simulation, concurrent
+// callers for the same key block until that one result is ready, and
+// later callers get it instantly. With Workers > 1 the experiments
+// prefetch their full run set onto a bounded worker pool and then
+// assemble tables from completed results in deterministic order, so the
+// rendered output is byte-identical to a serial run at the same seed.
+//
+// Configure the exported fields before the first Run (or use the
+// NewRunner options); they must not change afterwards.
 type Runner struct {
 	Model        *cacti.Model
 	Instructions int64
 	Seed         uint64
 	Apps         []workload.App
 
-	// Progress, when non-nil, receives a line per completed run.
-	Progress func(string)
+	// Workers bounds the pool executing prefetched runs; <= 1 is serial.
+	Workers int
 
-	memo map[string]*RunResult
+	observer Observer
+	obsMu    sync.Mutex
+	clock    func() time.Duration
+
+	mu   sync.Mutex
+	memo map[string]*memoCell
 }
 
-// NewRunner builds a runner over the paper's 15-application roster.
-func NewRunner(instructions int64, seed uint64) *Runner {
-	return &Runner{
-		Model:        cacti.Default(),
-		Instructions: instructions,
-		Seed:         seed,
-		Apps:         workload.Apps(),
-		memo:         make(map[string]*RunResult),
+// memoCell is one singleflight slot: the once gates the single
+// execution, res is written inside it and read only after Do returns.
+type memoCell struct {
+	once sync.Once
+	res  *RunResult
+}
+
+// cell returns the singleflight slot for key, creating it if needed.
+func (r *Runner) cell(key string) *memoCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.memo == nil {
+		r.memo = make(map[string]*memoCell)
 	}
+	c, ok := r.memo[key]
+	if !ok {
+		c = &memoCell{}
+		r.memo[key] = c
+	}
+	return c
+}
+
+// emit delivers an event to the observer, serialized so observers need
+// no locking of their own.
+func (r *Runner) emit(e RunEvent) {
+	if r.observer == nil {
+		return
+	}
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
+	r.observer.Observe(e)
+}
+
+// runMemo executes compute exactly once per key, concurrent duplicates
+// included, and emits start/finish events around the one execution.
+func (r *Runner) runMemo(key, app, org string, hasAPKI bool, compute func() *RunResult) *RunResult {
+	c := r.cell(key)
+	c.once.Do(func() {
+		r.emit(RunEvent{Kind: RunStart, App: app, Org: org})
+		var start time.Duration
+		if r.clock != nil {
+			start = r.clock()
+		}
+		res := compute()
+		var elapsed time.Duration
+		if r.clock != nil {
+			elapsed = r.clock() - start
+		}
+		c.res = res
+		r.emit(RunEvent{Kind: RunFinish, App: app, Org: org,
+			IPC: res.CPU.IPC, APKI: res.CPU.APKI, HasAPKI: hasAPKI, Elapsed: elapsed})
+	})
+	return c.res
 }
 
 // Run simulates app on org, memoized on (app, org key).
 func (r *Runner) Run(app workload.App, org Organization) *RunResult {
 	key := app.Name + "/" + org.Key
-	if res, ok := r.memo[key]; ok {
+	return r.runMemo(key, app.Name, org.Key, true, func() *RunResult {
+		mem := memsys.NewMemory(org.blockBytes())
+		l2 := org.Factory(r.Model, mem)
+		core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
+		gen := workload.MustNewGenerator(app, r.Seed)
+		cres := core.Run(gen, r.Instructions)
+
+		params := energy.DefaultParams(r.Model)
+		bd := params.Collect(cres.Cycles, cres.Instructions,
+			cres.L1DAccesses+cres.L1IAccesses, l2.EnergyNJ(), mem.EnergyNJ())
+
+		res := &RunResult{
+			App:         app.Name,
+			Org:         org.Key,
+			CPU:         cres,
+			L2Dist:      l2.Distribution(),
+			L2EnergyNJ:  l2.EnergyNJ(),
+			MemEnergyNJ: mem.EnergyNJ(),
+			MemAccesses: mem.Accesses,
+			Energy:      bd,
+			ED:          energy.EnergyDelay(bd.TotalNJ(), cres.Cycles),
+		}
+		for _, name := range l2.Counters().Names() {
+			res.L2Ctrs.Add(name, l2.Counters().Get(name))
+		}
+		if nc, ok := l2.(*nurapid.Cache); ok {
+			res.L2GroupAccesses = nc.GroupAccesses()
+		}
 		return res
-	}
-	mem := memsys.NewMemory(128)
-	l2 := org.Factory(r.Model, mem)
-	core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
-	gen := workload.MustNewGenerator(app, r.Seed)
-	cres := core.Run(gen, r.Instructions)
+	})
+}
 
-	params := energy.DefaultParams(r.Model)
-	bd := params.Collect(cres.Cycles, cres.Instructions,
-		cres.L1DAccesses+cres.L1IAccesses, l2.EnergyNJ(), mem.EnergyNJ())
+// Prefetch submits every (app, org) pair to the worker pool and blocks
+// until all are simulated. With Workers <= 1 it is a no-op: the serial
+// runner executes each simulation on demand, in table-assembly order,
+// exactly as before the pool existed. Each experiment calls Prefetch
+// with its full run set up front, then assembles its table from
+// memoized results in deterministic order.
+func (r *Runner) Prefetch(apps []workload.App, orgs []Organization) {
+	tasks := make([]func(), 0, len(apps)*len(orgs))
+	for _, app := range apps {
+		for _, org := range orgs {
+			app, org := app, org
+			tasks = append(tasks, func() { r.Run(app, org) })
+		}
+	}
+	r.fanOut(tasks)
+}
 
-	res := &RunResult{
-		App:         app.Name,
-		Org:         org.Key,
-		CPU:         cres,
-		L2Dist:      l2.Distribution(),
-		L2EnergyNJ:  l2.EnergyNJ(),
-		MemEnergyNJ: mem.EnergyNJ(),
-		MemAccesses: mem.Accesses,
-		Energy:      bd,
-		ED:          energy.EnergyDelay(bd.TotalNJ(), cres.Cycles),
+// fanOut runs tasks on min(Workers, len(tasks)) goroutines and waits
+// for all of them; with Workers <= 1 it does nothing (serial callers
+// compute on demand). Tasks are handed out in submission order, but
+// completion order is unspecified.
+func (r *Runner) fanOut(tasks []func()) {
+	w := r.Workers
+	if w <= 1 {
+		return
 	}
-	for _, name := range l2.Counters().Names() {
-		res.L2Ctrs.Add(name, l2.Counters().Get(name))
+	if w > len(tasks) {
+		w = len(tasks)
 	}
-	if nc, ok := l2.(*nurapid.Cache); ok {
-		res.L2GroupAccesses = nc.GroupAccesses()
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t()
+			}
+		}()
 	}
-	r.memo[key] = res
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("ran %-8s on %-32s IPC=%.3f APKI=%.1f",
-			app.Name, org.Key, cres.IPC, cres.APKI))
+	for _, t := range tasks {
+		ch <- t
 	}
-	return res
+	close(ch)
+	wg.Wait()
 }
 
 // RelPerf returns org's performance relative to the base hierarchy for

@@ -11,9 +11,8 @@ import (
 
 // smallRunner trims the roster and run length so experiment smoke tests
 // stay fast; behaviour (not magnitudes) is asserted.
-func smallRunner(t *testing.T) *Runner {
+func smallRunner(t *testing.T, opts ...Option) *Runner {
 	t.Helper()
-	r := NewRunner(120_000, 1)
 	apps := []workload.App{}
 	for _, name := range []string{"applu", "mcf", "gzip"} {
 		a, ok := workload.ByName(name)
@@ -22,8 +21,8 @@ func smallRunner(t *testing.T) *Runner {
 		}
 		apps = append(apps, a)
 	}
-	r.Apps = apps
-	return r
+	base := []Option{WithInstructions(120_000), WithSeed(1), WithApps(apps...)}
+	return NewRunner(append(base, opts...)...)
 }
 
 func TestRunMemoizes(t *testing.T) {
@@ -268,13 +267,30 @@ func TestByID(t *testing.T) {
 	}
 }
 
-func TestProgressCallback(t *testing.T) {
-	r := smallRunner(t)
-	lines := 0
-	r.Progress = func(string) { lines++ }
+func TestObserverSeesEachRunOnce(t *testing.T) {
+	starts, finishes := 0, 0
+	obs := ObserverFunc(func(e RunEvent) {
+		switch e.Kind {
+		case RunStart:
+			starts++
+		case RunFinish:
+			finishes++
+		}
+	})
+	r := smallRunner(t, WithObserver(obs))
 	r.Run(r.Apps[0], Base())
-	r.Run(r.Apps[0], Base()) // memoized: no second line
-	if lines != 1 {
-		t.Fatalf("progress lines = %d, want 1", lines)
+	r.Run(r.Apps[0], Base()) // memoized: no second event pair
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("events = %d starts, %d finishes, want 1 each", starts, finishes)
+	}
+}
+
+func TestDeprecatedSeededConstructor(t *testing.T) {
+	r := NewRunnerSeeded(120_000, 7)
+	if r.Instructions != 120_000 || r.Seed != 7 || r.Workers != 1 {
+		t.Fatalf("NewRunnerSeeded misconfigured: %+v", r)
+	}
+	if len(r.Apps) != 15 {
+		t.Fatalf("roster size %d, want 15", len(r.Apps))
 	}
 }

@@ -23,16 +23,23 @@ func (r *Runner) CapacitySweep() *Experiment {
 		mb     int
 		groups int
 	}{{4, 2}, {8, 4}, {16, 8}}
+	orgs := []Organization{Base()}
+	byMB := map[int]Organization{}
+	for _, c := range capacities {
+		cfg := nurapid.DefaultConfig()
+		cfg.CapacityBytes = int64(c.mb) << 20
+		cfg.NumDGroups = c.groups
+		org := NuRAPID(cfg)
+		org.Key = fmt.Sprintf("%s-%dmb", org.Key, c.mb)
+		orgs = append(orgs, org)
+		byMB[c.mb] = org
+	}
+	r.Prefetch(r.Apps, orgs)
 	rel := map[int][]float64{}
 	for _, app := range r.Apps {
 		row := []any{app.Name}
 		for _, c := range capacities {
-			cfg := nurapid.DefaultConfig()
-			cfg.CapacityBytes = int64(c.mb) << 20
-			cfg.NumDGroups = c.groups
-			org := NuRAPID(cfg)
-			org.Key = fmt.Sprintf("%s-%dmb", org.Key, c.mb)
-			p := r.RelPerf(app, org)
+			p := r.RelPerf(app, byMB[c.mb])
 			row = append(row, p)
 			rel[c.mb] = append(rel[c.mb], p)
 		}
@@ -51,21 +58,34 @@ func (r *Runner) CapacitySweep() *Experiment {
 // the base hierarchy is defined at 128-B blocks, this sweep reports the
 // absolute behaviour of each variant — IPC, L2 accesses per
 // kilo-instruction, and miss rate — rather than relative performance.
+// The runner derives the backing memory's block size from each
+// organization's config, so every variant's fills and transfer charges
+// match its actual block.
 func (r *Runner) BlockSweep() *Experiment {
 	t := stats.NewTable("Block-size sweep: 8-MB, 4-d-group NuRAPID",
 		"benchmark", "block", "IPC", "APKI", "miss rate")
+	blocks := []int{64, 128, 256}
+	byBlock := map[int]Organization{}
+	orgs := make([]Organization, 0, len(blocks))
+	for _, bb := range blocks {
+		cfg := nurapid.DefaultConfig()
+		cfg.BlockBytes = bb
+		byBlock[bb] = NuRAPID(cfg)
+		orgs = append(orgs, byBlock[bb])
+	}
+	r.Prefetch(r.Apps, orgs)
 	ipc := map[int][]float64{}
 	miss := map[int][]float64{}
 	for _, app := range r.Apps {
-		for _, bb := range []int{64, 128, 256} {
-			res := r.runBlockVariant(app, bb)
+		for _, bb := range blocks {
+			res := r.Run(app, byBlock[bb])
 			t.AddRow(app.Name, fmt.Sprintf("%d B", bb),
 				res.CPU.IPC, res.CPU.APKI, stats.Percent(res.L2Dist.MissFrac()))
 			ipc[bb] = append(ipc[bb], res.CPU.IPC)
 			miss[bb] = append(miss[bb], res.L2Dist.MissFrac())
 		}
 	}
-	for _, bb := range []int{64, 128, 256} {
+	for _, bb := range blocks {
 		t.AddRow("AVERAGE", fmt.Sprintf("%d B", bb), mean(ipc[bb]), "-", stats.Percent(mean(miss[bb])))
 	}
 	return &Experiment{ID: "sweep-block", Caption: "Block-size sensitivity", Table: t,
@@ -88,6 +108,16 @@ func (r *Runner) TechSweep() *Experiment {
 	t := stats.NewTable("Technology sweep: NuRAPID-4g cycles relative to D-NUCA (higher = NuRAPID faster)",
 		"benchmark", "wires 1.0x (70nm)", "wires 1.5x", "wires 2.0x")
 	scales := []float64{1.0, 1.5, 2.0}
+	var tasks []func()
+	for _, app := range r.Apps {
+		for _, s := range scales {
+			app, s := app, s
+			tasks = append(tasks,
+				func() { r.runScaledVariant(app, s, true) },
+				func() { r.runScaledVariant(app, s, false) })
+		}
+	}
+	r.fanOut(tasks)
 	rel := map[float64][]float64{}
 	for _, app := range r.Apps {
 		row := []any{app.Name}
@@ -110,69 +140,37 @@ func (r *Runner) TechSweep() *Experiment {
 }
 
 // runScaledVariant runs one app on NuRAPID or D-NUCA built from a
-// wire-scaled model (memoized).
+// wire-scaled model (singleflight-memoized like every other run).
 func (r *Runner) runScaledVariant(app workload.App, scale float64, isNurapid bool) *RunResult {
 	org := "dnuca"
 	if isNurapid {
 		org = "nurapid"
 	}
 	key := fmt.Sprintf("%s/techsweep-%s-%.2f", app.Name, org, scale)
-	if res, ok := r.memo[key]; ok {
-		return res
-	}
-	model := r.Model.Scaled(scale)
-	mem := memsys.NewMemory(128)
-	var l2 memsys.LowerLevel
-	if isNurapid {
-		l2 = nurapid.MustNew(nurapid.DefaultConfig(), model, mem)
-	} else {
-		l2 = nuca.MustNew(nuca.DefaultConfig(), model, mem)
-	}
-	core := cpu.MustNew(cpu.DefaultConfig(), l2, model.L1NJ)
-	cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
-	res := &RunResult{
-		App:         app.Name,
-		Org:         fmt.Sprintf("%s-wire%.2fx", org, scale),
-		CPU:         cres,
-		L2Dist:      l2.Distribution(),
-		L2EnergyNJ:  l2.EnergyNJ(),
-		MemEnergyNJ: mem.EnergyNJ(),
-		MemAccesses: mem.Accesses,
-	}
-	r.memo[key] = res
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("ran %-8s on %-32s IPC=%.3f", app.Name, res.Org, cres.IPC))
-	}
-	return res
-}
-
-// runBlockVariant runs one app on a NuRAPID with a non-default block
-// size (memoized). The memory model's transfer charge scales with the
-// block, so bigger blocks pay longer fills.
-func (r *Runner) runBlockVariant(app workload.App, blockBytes int) *RunResult {
-	key := fmt.Sprintf("%s/blocksweep-%d", app.Name, blockBytes)
-	if res, ok := r.memo[key]; ok {
-		return res
-	}
-	cfg := nurapid.DefaultConfig()
-	cfg.BlockBytes = blockBytes
-	mem := memsys.NewMemory(blockBytes)
-	l2 := nurapid.MustNew(cfg, r.Model, mem)
-	core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
-	cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
-	res := &RunResult{
-		App:         app.Name,
-		Org:         fmt.Sprintf("nurapid-block%d", blockBytes),
-		CPU:         cres,
-		L2Dist:      l2.Distribution(),
-		L2EnergyNJ:  l2.EnergyNJ(),
-		MemEnergyNJ: mem.EnergyNJ(),
-		MemAccesses: mem.Accesses,
-	}
-	r.memo[key] = res
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("ran %-8s on %-32s IPC=%.3f APKI=%.1f",
-			app.Name, res.Org, cres.IPC, cres.APKI))
-	}
-	return res
+	label := fmt.Sprintf("%s-wire%.2fx", org, scale)
+	return r.runMemo(key, app.Name, label, false, func() *RunResult {
+		model := r.Model.Scaled(scale)
+		var l2 memsys.LowerLevel
+		var mem *memsys.Memory
+		if isNurapid {
+			cfg := nurapid.DefaultConfig()
+			mem = memsys.NewMemory(cfg.BlockBytes)
+			l2 = nurapid.MustNew(cfg, model, mem)
+		} else {
+			cfg := nuca.DefaultConfig()
+			mem = memsys.NewMemory(cfg.BlockBytes)
+			l2 = nuca.MustNew(cfg, model, mem)
+		}
+		core := cpu.MustNew(cpu.DefaultConfig(), l2, model.L1NJ)
+		cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
+		return &RunResult{
+			App:         app.Name,
+			Org:         label,
+			CPU:         cres,
+			L2Dist:      l2.Distribution(),
+			L2EnergyNJ:  l2.EnergyNJ(),
+			MemEnergyNJ: mem.EnergyNJ(),
+			MemAccesses: mem.Accesses,
+		}
+	})
 }

@@ -66,6 +66,7 @@ func (r *Runner) Table2() *Experiment {
 // Table3 reports the application roster with the Table 3 anchors next to
 // the measured base-case IPC and L2 accesses per kilo-instruction.
 func (r *Runner) Table3() *Experiment {
+	r.Prefetch(r.Apps, []Organization{Base()})
 	t := stats.NewTable("Table 3: Applications and L2 load (base case)",
 		"benchmark", "type", "class", "paper IPC", "IPC", "paper APKI", "APKI")
 	metrics := map[string]float64{}

@@ -18,6 +18,11 @@ import (
 // "tag + access"; the tag-only share of those figures is small.
 const tagOnlyNJ = 0.05
 
+// BlockBytes is the block size of the paper's base hierarchy and ideal
+// bound (Table 1: 128-B blocks). Callers building the backing memory
+// model must match it.
+const BlockBytes = 128
+
 // Uniform is one monolithic cache level with a single uniform access
 // latency, sequential tag-data access, and allocate-on-miss with
 // writeback. It implements memsys.LowerLevel.
@@ -66,7 +71,7 @@ func NewUniform(cfg UniformConfig, mem *memsys.Memory) (*Uniform, error) {
 // NewIdeal builds the paper's ideal bound: an 8-MB, 8-way cache in which
 // every hit completes at the fastest 4-d-group latency (14 cycles).
 func NewIdeal(m *cacti.Model, mem *memsys.Memory) *Uniform {
-	geo := cache.Geometry{CapacityBytes: 8 << 20, BlockBytes: 128, Assoc: 8}
+	geo := cache.Geometry{CapacityBytes: 8 << 20, BlockBytes: BlockBytes, Assoc: 8}
 	u, err := NewUniform(UniformConfig{
 		Name:      "ideal",
 		Geometry:  geo,
@@ -137,8 +142,8 @@ type Hierarchy struct {
 // NewHierarchy builds the base L2/L3 configuration with energies from the
 // cacti model.
 func NewHierarchy(m *cacti.Model, mem *memsys.Memory) *Hierarchy {
-	l2 := cache.MustNewCache(cache.Geometry{CapacityBytes: 1 << 20, BlockBytes: 128, Assoc: 8}, cache.LRU, nil)
-	l3 := cache.MustNewCache(cache.Geometry{CapacityBytes: 8 << 20, BlockBytes: 128, Assoc: 8}, cache.LRU, nil)
+	l2 := cache.MustNewCache(cache.Geometry{CapacityBytes: 1 << 20, BlockBytes: BlockBytes, Assoc: 8}, cache.LRU, nil)
+	l3 := cache.MustNewCache(cache.Geometry{CapacityBytes: 8 << 20, BlockBytes: BlockBytes, Assoc: 8}, cache.LRU, nil)
 	return &Hierarchy{
 		l2:    l2,
 		l3:    l3,

@@ -22,14 +22,21 @@
 //	r := cache.Access(0, 0x1000_0000, false) // cycle 0, read
 //	_ = mem                                   // backing memory model
 //
-// Full-system comparison:
+// Full-system comparison (parallel across all cores, byte-identical
+// output to a serial run at the same seed):
 //
-//	runner := nurapid.NewRunner(2_000_000, 1)
+//	runner := nurapid.NewRunner(
+//		nurapid.WithInstructions(2_000_000),
+//		nurapid.WithSeed(1),
+//		nurapid.WithWorkers(runtime.GOMAXPROCS(0)),
+//	)
 //	fig9 := runner.Fig9() // NuRAPID vs D-NUCA, paper Figure 9
 //	fig9.Table.WriteText(os.Stdout)
 package nurapid
 
 import (
+	"io"
+
 	"nurapid/internal/cacti"
 	"nurapid/internal/cpu"
 	"nurapid/internal/memsys"
@@ -129,7 +136,8 @@ type (
 
 // Experiment-harness types.
 type (
-	// Runner executes and memoizes full-system simulations.
+	// Runner executes and memoizes full-system simulations; it is safe
+	// for concurrent use (singleflight memo + bounded worker pool).
 	Runner = sim.Runner
 	// Experiment is one regenerated table or figure.
 	Experiment = sim.Experiment
@@ -137,6 +145,22 @@ type (
 	Organization = sim.Organization
 	// RunResult captures one full-system run.
 	RunResult = sim.RunResult
+	// RunnerOption configures a Runner at construction time.
+	RunnerOption = sim.Option
+	// Observer receives run lifecycle events from a Runner.
+	Observer = sim.Observer
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = sim.ObserverFunc
+	// RunEvent is one run lifecycle event.
+	RunEvent = sim.RunEvent
+	// EventKind distinguishes start and finish events.
+	EventKind = sim.EventKind
+)
+
+// Run lifecycle event kinds.
+const (
+	RunStart  = sim.RunStart
+	RunFinish = sim.RunFinish
 )
 
 // DefaultConfig returns the paper's primary NuRAPID design: 8 MB, 8-way,
@@ -171,9 +195,9 @@ func NewDNUCA(cfg DNUCAConfig) (*DNUCA, *Memory, error) {
 }
 
 // NewBaseHierarchy builds the conventional 1-MB-L2 + 8-MB-L3 baseline
-// backed by a fresh memory model.
+// backed by a fresh memory model with the hierarchy's own block size.
 func NewBaseHierarchy() (*Hierarchy, *Memory) {
-	mem := memsys.NewMemory(128)
+	mem := memsys.NewMemory(uca.BlockBytes)
 	return uca.NewHierarchy(cacti.Default(), mem), mem
 }
 
@@ -196,11 +220,57 @@ func NewCPU(cfg CPUConfig, l2 LowerLevel) (*CPU, error) {
 	return cpu.New(cfg, l2, cacti.Default().L1NJ)
 }
 
-// NewRunner builds an experiment runner over the full application roster
-// simulating the given number of instructions per run.
-func NewRunner(instructions int64, seed uint64) *Runner {
-	return sim.NewRunner(instructions, seed)
+// NewRunner builds an experiment runner: by default the calibrated
+// 70-nm model, 2M instructions per run, seed 1, the full application
+// roster, and serial execution; override with the With* options. With
+// WithWorkers(n > 1), experiments fan their run set onto a bounded
+// worker pool while rendered output stays byte-identical to a serial
+// run at the same seed.
+func NewRunner(opts ...RunnerOption) *Runner {
+	return sim.NewRunner(opts...)
 }
+
+// NewRunnerSeeded builds a serial runner simulating the given number of
+// instructions per run at the given seed.
+//
+// Deprecated: use NewRunner(WithInstructions(instructions),
+// WithSeed(seed)).
+func NewRunnerSeeded(instructions int64, seed uint64) *Runner {
+	return sim.NewRunnerSeeded(instructions, seed)
+}
+
+// Runner construction options.
+
+// WithInstructions sets the number of instructions simulated per run.
+func WithInstructions(n int64) RunnerOption { return sim.WithInstructions(n) }
+
+// WithSeed sets the workload seed; rendered output is a pure function
+// of the seed and run parameters, regardless of worker count.
+func WithSeed(seed uint64) RunnerOption { return sim.WithSeed(seed) }
+
+// WithWorkers bounds the worker pool; n <= 1 selects serial execution.
+func WithWorkers(n int) RunnerOption { return sim.WithWorkers(n) }
+
+// WithApps replaces the application roster.
+func WithApps(apps ...App) RunnerOption { return sim.WithApps(apps...) }
+
+// WithObserver attaches a structured observer for run events.
+func WithObserver(o Observer) RunnerOption { return sim.WithObserver(o) }
+
+// WithModel substitutes the physical timing/energy model (for example
+// DefaultModel().Scaled(1.5) for slower wires).
+func WithModel(m *Model) RunnerOption { return sim.WithModel(m) }
+
+// Model is the calibrated timing/energy model behind every
+// organization (latencies, per-access energies, wire scaling).
+type Model = cacti.Model
+
+// DefaultModel returns the calibrated 70-nm model.
+func DefaultModel() *Model { return cacti.Default() }
+
+// TextObserver renders each completed run as a one-line progress
+// message on w (the cmd/experiments stderr format).
+func TextObserver(w io.Writer) Observer { return sim.TextObserver(w) }
 
 // Organization constructors for the Runner.
 

@@ -82,9 +82,8 @@ func TestFullSystemViaFacade(t *testing.T) {
 }
 
 func TestRunnerViaFacade(t *testing.T) {
-	r := NewRunner(60_000, 1)
 	app, _ := AppByName("gzip")
-	r.Apps = []App{app}
+	r := NewRunner(WithInstructions(60_000), WithSeed(1), WithApps(app))
 	base := r.Run(app, Base())
 	nu := r.Run(app, NuRAPIDOrg(DefaultConfig()))
 	dn := r.Run(app, DNUCAOrg(DefaultDNUCAConfig()))
