@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-runner lint fmt bench bench-runner audit ci
+.PHONY: build test race race-runner lint fmt bench bench-runner obs-bench audit ci
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,10 @@ race:
 
 # race-runner: the parallel experiment runner's determinism contract —
 # All() on an 8-worker pool must render the same bytes as the serial
-# runner — plus the singleflight and observer machinery, under -race.
+# runner — plus the singleflight, observer, and probe/trace machinery,
+# under -race.
 race-runner:
-	$(GO) test -race -count=1 -run 'TestParallel|TestSingleflight|TestPrefetch|TestSerialPrefetch|TestTextObserver|TestObserver|TestClock' ./internal/sim/
+	$(GO) test -race -count=1 -run 'TestParallel|TestSingleflight|TestPrefetch|TestSerialPrefetch|TestTextObserver|TestObserver|TestClock|TestProbe|TestTrace' ./internal/sim/
 
 # lint = custom analyzers (determinism, panicstyle, statsreg) + go vet,
 # via the multichecker, plus a gofmt cleanliness check.
@@ -42,8 +43,17 @@ bench:
 bench-runner:
 	BENCH_RUNNER_JSON=$(CURDIR)/BENCH_runner.json $(GO) test -count=1 -run '^TestBenchRunnerSmoke$$' -v .
 
+# obs-bench: measure the disabled-probe overhead of the observability
+# layer on the Fig6 workload (probe-free vs nil-probe factory vs full
+# Collector+Sampler probes), assert the rendered output stays
+# byte-identical, and record wall times + overhead ratios in
+# BENCH_obs.json. The <3% disabled-probe budget is asserted in CI via
+# this record.
+obs-bench:
+	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -count=1 -run '^TestBenchObsSmoke$$' -v .
+
 # audit: the randomized invariant storm at full length.
 audit:
 	$(GO) test ./internal/nurapid/ -run TestAuditedAccessStorm -v
 
-ci: build test race race-runner lint bench bench-runner
+ci: build test race race-runner lint bench bench-runner obs-bench

@@ -1,0 +1,133 @@
+package nurapid
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nurapid/internal/obs"
+	"nurapid/internal/sim"
+	"nurapid/internal/workload"
+)
+
+// obsBench is the record the observability bench smoke writes to
+// BENCH_obs.json: Fig6 wall time probe-free, with a nil-returning probe
+// factory (the disabled fast path the <3% budget covers), and with full
+// Collector+Sampler probes attached to every run.
+type obsBench struct {
+	Experiment       string  `json:"experiment"`
+	Apps             int     `json:"apps"`
+	Instructions     int64   `json:"instructions_per_run"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Iterations       int     `json:"iterations"`
+	BaselineNS       int64   `json:"baseline_ns"`
+	NilProbeNS       int64   `json:"nil_probe_ns"`
+	ProbedNS         int64   `json:"probed_ns"`
+	DisabledOverhead float64 `json:"disabled_overhead"` // nil_probe/baseline - 1
+	EnabledOverhead  float64 `json:"enabled_overhead"`  // probed/baseline - 1
+}
+
+// TestBenchObsSmoke measures the observability layer's overhead
+// contract on the Fig6 workload: a nil probe factory must leave the
+// rendered experiment output byte-identical to a probe-free runner and
+// cost (near) nothing, and even full probes must not change the output.
+// Wall times and overhead ratios land in BENCH_obs.json. It only runs
+// when BENCH_OBS_JSON names the output file (make obs-bench / CI), so
+// plain `go test ./...` stays timing-free.
+func TestBenchObsSmoke(t *testing.T) {
+	out := os.Getenv("BENCH_OBS_JSON")
+	if out == "" {
+		t.Skip("set BENCH_OBS_JSON=<path> to run the observability bench smoke")
+	}
+
+	var apps []workload.App
+	for _, name := range benchApps {
+		a, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("app %s missing", name)
+		}
+		apps = append(apps, a)
+	}
+
+	timeFig6 := func(extra ...sim.Option) (time.Duration, string) {
+		opts := []sim.Option{
+			sim.WithInstructions(benchInstructions),
+			sim.WithSeed(1),
+			sim.WithApps(apps...),
+			sim.WithWorkers(1), // serial: probe cost must not hide in idle cores
+		}
+		opts = append(opts, extra...)
+		r := sim.NewRunner(opts...)
+		start := time.Now()
+		e := r.Fig6()
+		elapsed := time.Since(start)
+		var buf bytes.Buffer
+		if err := e.Render(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ProbeErr(); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, buf.String()
+	}
+
+	nilFactory := sim.WithProbe(func(app, org string) obs.Probe { return nil })
+	fullFactory := sim.WithProbe(func(app, org string) obs.Probe {
+		return obs.Multi(obs.NewCollector(), obs.NewSampler("occupancy", 0))
+	})
+
+	// Best-of-iterations damps scheduler noise in the short CI runs.
+	const iterations = 2
+	best := func(extra ...sim.Option) (time.Duration, string) {
+		bestD, bestOut := timeFig6(extra...)
+		for i := 1; i < iterations; i++ {
+			d, o := timeFig6(extra...)
+			if o != bestOut {
+				t.Fatal("repeated Fig6 runs rendered different bytes")
+			}
+			if d < bestD {
+				bestD = d
+			}
+		}
+		return bestD, bestOut
+	}
+
+	baseline, baseBytes := best()
+	disabled, nilBytes := best(nilFactory)
+	probed, fullBytes := best(fullFactory)
+
+	if baseBytes != nilBytes {
+		t.Fatalf("nil-probe factory changed rendered output (%d vs %d bytes)",
+			len(baseBytes), len(nilBytes))
+	}
+	if baseBytes != fullBytes {
+		t.Fatalf("full probes changed rendered output (%d vs %d bytes)",
+			len(baseBytes), len(fullBytes))
+	}
+
+	rec := obsBench{
+		Experiment:       "fig6",
+		Apps:             len(apps),
+		Instructions:     benchInstructions,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Iterations:       iterations,
+		BaselineNS:       baseline.Nanoseconds(),
+		NilProbeNS:       disabled.Nanoseconds(),
+		ProbedNS:         probed.Nanoseconds(),
+		DisabledOverhead: float64(disabled)/float64(baseline) - 1,
+		EnabledOverhead:  float64(probed)/float64(baseline) - 1,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig6 baseline %v, nil-probe %v (%+.1f%%), probed %v (%+.1f%%); recorded in %s",
+		baseline, disabled, rec.DisabledOverhead*100, probed, rec.EnabledOverhead*100, out)
+}

@@ -11,11 +11,24 @@
 // Runs are deterministic for a given -seed: the rendered tables and
 // figures are byte-identical whatever -workers is; only the order of
 // the stderr progress lines depends on scheduling.
+//
+// Observability:
+//
+//	experiments -experiment fig6 -trace traces   # JSONL event traces
+//	experiments -http localhost:6060 ...         # expvar + pprof
+//
+// -trace writes one <app>__<org>.jsonl per executed run (analyze with
+// nurapidtrace); -http serves /debug/vars (run progress counters) and
+// /debug/pprof while the experiments run. Neither affects the rendered
+// tables.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -31,6 +44,8 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+		trace      = flag.String("trace", "", "directory for per-run JSONL event traces (created if missing)")
+		httpAddr   = flag.String("http", "", "serve expvar and pprof diagnostics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -39,10 +54,28 @@ func main() {
 		sim.WithSeed(*seed),
 		sim.WithWorkers(*workers),
 	}
+	var observers []sim.Observer
 	if !*quiet {
-		opts = append(opts,
-			sim.WithObserver(sim.TextObserver(os.Stderr)),
-			sim.WithClock(wallClock()))
+		observers = append(observers, sim.TextObserver(os.Stderr))
+		opts = append(opts, sim.WithClock(wallClock()))
+	}
+	if *trace != "" {
+		if err := os.MkdirAll(*trace, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts = append(opts, sim.WithTrace(*trace))
+	}
+	if *httpAddr != "" {
+		observers = append(observers, expvarObserver())
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "diagnostics server:", err)
+			}
+		}()
+	}
+	if len(observers) > 0 {
+		opts = append(opts, sim.WithObserver(fanOut(observers)))
 	}
 	r := sim.NewRunner(opts...)
 
@@ -65,6 +98,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := r.ProbeErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// fanOut composes observers; the Runner already serializes Observe
+// calls, so plain sequential delivery is enough.
+func fanOut(obs []sim.Observer) sim.Observer {
+	if len(obs) == 1 {
+		return obs[0]
+	}
+	return sim.ObserverFunc(func(e sim.RunEvent) {
+		for _, o := range obs {
+			o.Observe(e)
+		}
+	})
+}
+
+// expvarObserver publishes run-progress counters at /debug/vars:
+// sim_runs_started / sim_runs_finished track executed (non-memoized)
+// simulations, sim_last_run names the most recent one.
+func expvarObserver() sim.Observer {
+	started := expvar.NewInt("sim_runs_started")
+	finished := expvar.NewInt("sim_runs_finished")
+	last := expvar.NewString("sim_last_run")
+	return sim.ObserverFunc(func(e sim.RunEvent) {
+		switch e.Kind {
+		case sim.RunStart:
+			started.Add(1)
+		case sim.RunFinish:
+			finished.Add(1)
+			last.Set(e.App + "/" + e.Org)
+		}
+	})
 }
 
 // wallClock returns a monotonic clock for RunEvent.Elapsed stamps. The

@@ -1,0 +1,159 @@
+// Command nurapidtrace aggregates the JSONL event traces the simulator's
+// observability layer writes (experiments -trace, sim.WithTrace, or a
+// hand-built obs.TraceSink) into human-readable reports: event counters,
+// the demotion-chain depth histogram, the hit-latency distribution,
+// per-d-group hit counts, and the epoch-based d-group occupancy
+// timeline.
+//
+// Usage:
+//
+//	experiments -experiment fig6 -trace traces
+//	nurapidtrace traces/mcf__nurapid-4g-next-random.jsonl
+//	nurapidtrace -csv traces/*.jsonl        # CSV tables
+//	nurapidtrace -epoch 1024 run.jsonl      # finer occupancy timeline
+//	nurapidtrace < run.jsonl                # read one trace from stdin
+//
+// Each input trace gets its own report; outputs follow input order, so
+// a fixed argument list renders deterministically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nurapid/internal/obs"
+	"nurapid/internal/stats"
+)
+
+func main() {
+	var (
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		epoch = flag.Int64("epoch", obs.DefaultEpochAccesses, "occupancy sample epoch, in accesses")
+	)
+	flag.Parse()
+
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		if err := report(os.Stdout, "<stdin>", os.Stdin, *epoch, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for i, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		err = report(os.Stdout, path, f, *epoch, *csv)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// report decodes one trace and renders its aggregate tables.
+func report(w io.Writer, name string, r io.Reader, epoch int64, csv bool) error {
+	coll := obs.NewCollector()
+	samp := obs.NewSampler("occupancy", epoch)
+	if err := obs.DecodeTrace(r, func(e obs.Event) error {
+		coll.Emit(e)
+		samp.Emit(e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	tables := []*stats.Table{
+		countersTable(name, coll.Counters()),
+		histTable("demotion-chain depth (links per placement)", "depth", coll.ChainDepth()),
+		histTable("hit latency (cycles)", "cycles", coll.HitLatency()),
+		groupHitsTable(coll.GroupHits()),
+		occupancyTable(samp),
+	}
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		var err error
+		if csv {
+			err = t.WriteCSV(w)
+		} else {
+			err = t.WriteText(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countersTable renders the collector's event counters, sorted by name.
+func countersTable(name string, ctrs *stats.Counters) *stats.Table {
+	t := stats.NewTable("trace "+name+": event counters", "counter", "count")
+	for _, n := range ctrs.Names() {
+		t.AddRow(n, ctrs.Get(n))
+	}
+	return t
+}
+
+// histTable renders a histogram's populated buckets plus its summary
+// rows (overflow when hit, total, mean).
+func histTable(title, valueHeader string, h *stats.Histogram) *stats.Table {
+	t := stats.NewTable(title, valueHeader, "count")
+	for i := 0; i < h.NumBuckets(); i++ {
+		if c := h.Count(i); c > 0 {
+			t.AddRow(h.BucketLabel(i), c)
+		}
+	}
+	if h.Overflow() > 0 {
+		t.AddRow("overflow", h.Overflow())
+	}
+	t.AddRow("TOTAL", h.Total())
+	t.AddRow("MEAN", h.Mean())
+	return t
+}
+
+// groupHitsTable renders hits served per d-group.
+func groupHitsTable(hits []int64) *stats.Table {
+	t := stats.NewTable("hits per d-group", "dgroup", "hits")
+	for g, n := range hits {
+		t.AddRow(g, n)
+	}
+	return t
+}
+
+// occupancyTable renders the epoch timeline: one row per sample, one
+// column per d-group. Early samples that predate a group's first use
+// render as zero occupancy.
+func occupancyTable(s *obs.Sampler) *stats.Table {
+	headers := []string{"epoch"}
+	for g := 0; g < s.NumGroups(); g++ {
+		headers = append(headers, fmt.Sprintf("dgroup_%d", g))
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("d-group occupancy per %d-access epoch (blocks resident)", s.EpochAccesses()),
+		headers...)
+	for i := 0; i < s.NumSamples(); i++ {
+		samp := s.Sample(i)
+		row := []any{i}
+		for g := 0; g < s.NumGroups(); g++ {
+			var v int64
+			if g < len(samp) {
+				v = samp[g]
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -2,7 +2,10 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"regexp"
+	"strconv"
 )
 
 // StatsReg enforces the no-silent-metrics rule, modeled on how Sniper's
@@ -17,11 +20,30 @@ import (
 // a deliberately internal scratch value can be excluded with a
 // //nurapidlint:ignore statsreg comment on the Snapshot method's
 // declaration line... but prefer emitting it.
+//
+// The analyzer also enforces the metric-name convention at registration
+// sites: a string literal passed as the name to NewHistogram or
+// NewSampler must be lower_snake_case ([a-z][a-z0-9_]*), so snapshot
+// keys derived from it (name_le_7, name_dgroup_0) stay uniform and
+// machine-parseable. Names built at runtime are exempt — the analyzer
+// only sees literals.
 var StatsReg = &Analyzer{
 	Name: "statsreg",
 	Doc: "every int64/float64 field of a struct with a Snapshot method " +
-		"must be referenced in that Snapshot method (no silent metrics)",
+		"must be referenced in that Snapshot method (no silent metrics); " +
+		"literal metric names registered via NewHistogram/NewSampler must " +
+		"be lower_snake_case",
 	Run: runStatsReg,
+}
+
+// metricNameRe is the registration naming convention: snapshot key
+// prefixes are lower_snake_case.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricCtors are the constructors whose first argument names a metric.
+var metricCtors = map[string]bool{
+	"NewHistogram": true,
+	"NewSampler":   true,
 }
 
 func runStatsReg(pass *Pass) error {
@@ -70,7 +92,50 @@ func runStatsReg(pass *Pass) error {
 			}
 		}
 	}
+
+	checkMetricNames(pass)
 	return nil
+}
+
+// checkMetricNames flags registration calls whose literal metric name
+// breaks the lower_snake_case convention.
+func checkMetricNames(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			ctor := calleeName(call)
+			if !metricCtors[ctor] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // runtime-built name: not statically checkable
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || metricNameRe.MatchString(name) {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"metric name %q passed to %s is not lower_snake_case (want %s)",
+				name, ctor, metricNameRe)
+			return true
+		})
+	}
+}
+
+// calleeName returns the called function's bare name for plain and
+// package-qualified calls ("" for anything fancier).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
 }
 
 // isCounterKind reports whether t is the repository's counter shape: an

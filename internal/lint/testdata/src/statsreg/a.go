@@ -45,3 +45,21 @@ func (n namedCounter) Snapshot() []KV { // want `namedCounter.Snapshot does not 
 type noContract struct {
 	anything int64 // ok: no Snapshot method, no registration contract
 }
+
+// Metric-registration stubs mirroring stats.NewHistogram and
+// stats.NewSampler: literal names must be lower_snake_case.
+
+func NewHistogram(name string, numBuckets int, width int64) *goodStats { return nil }
+
+func NewSampler(name string, epochAccesses int64) *goodStats { return nil }
+
+var (
+	_ = NewHistogram("chain_depth", 9, 1)   // ok
+	_ = NewHistogram("Chain-Depth", 9, 1)   // want `metric name "Chain-Depth" passed to NewHistogram is not lower_snake_case`
+	_ = NewHistogram("7_lives", 9, 1)       // want `metric name "7_lives" passed to NewHistogram is not lower_snake_case`
+	_ = NewSampler("occupancy_v2", 4)       // ok
+	_ = NewSampler("occupancy timeline", 4) // want `metric name "occupancy timeline" passed to NewSampler is not lower_snake_case`
+)
+
+// ok: runtime-built names cannot be checked statically.
+func dynamicName(prefix string) *goodStats { return NewSampler(prefix+"_occ", 1) }

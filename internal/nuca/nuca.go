@@ -29,6 +29,7 @@ import (
 	"nurapid/internal/cacti"
 	"nurapid/internal/floorplan"
 	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
 	"nurapid/internal/stats"
 )
 
@@ -125,6 +126,7 @@ type Cache struct {
 	dist   *stats.Distribution
 	ctrs   stats.Counters
 	energy float64
+	probe  obs.Probe
 }
 
 // New builds a D-NUCA cache with bank latencies and energies from the
@@ -204,6 +206,13 @@ func (c *Cache) Name() string { return "dnuca-" + c.cfg.Policy.String() }
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// SetProbe attaches an observability probe (obs.Probeable). Probes only
+// observe — simulated state and timing are unaffected — and a nil probe
+// restores the zero-overhead fast path. Call before the first access.
+// D-NUCA's bubble swap is reported as one promotion plus a depth-1
+// demotion link absorbed by the frame the promoted block freed.
+func (c *Cache) SetProbe(p obs.Probe) { c.probe = p }
+
 func (c *Cache) waysPerGroup() int { return c.cfg.Assoc / c.numGroups }
 
 func (c *Cache) groupOfWay(way int) int { return way / c.waysPerGroup() }
@@ -266,6 +275,9 @@ func (c *Cache) partialMatches(set int, tag uint64) []bool {
 // Access implements memsys.LowerLevel.
 func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	c.ctrs.Inc("accesses")
+	if c.probe != nil {
+		c.probe.Emit(obs.Access(now, addr, write))
+	}
 	set := c.geo.SetIndex(addr)
 	tag := c.geo.Tag(addr)
 
@@ -288,6 +300,9 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	if hit {
 		g := c.groupOfWay(way)
 		c.dist.AddHit(g)
+		if c.probe != nil {
+			c.probe.Emit(obs.Hit(now, g, done-now))
+		}
 		l := c.line(set, way)
 		if write {
 			l.dirty = true
@@ -302,6 +317,9 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	// Miss: fetch from memory and place in the slowest group.
 	c.dist.AddMiss()
 	c.ctrs.Inc("misses")
+	if c.probe != nil {
+		c.probe.Emit(obs.Miss(now, addr))
+	}
 	fillDone := c.mem.Read(done)
 	c.fill(now, set, tag, write)
 	return memsys.AccessResult{Hit: false, DoneAt: fillDone, Group: -1}
@@ -384,10 +402,24 @@ func (c *Cache) promote(now int64, set, way int) {
 	g := c.groupOfWay(way)
 	target := c.victimWay(set, g-1)
 	a, b := c.line(set, way), c.line(set, target)
+	swapped := b.valid
 	// Stamps travel with the lines: the promoted block keeps its fresh
 	// recency, the demoted one keeps its old stamp.
 	*a, *b = *b, *a
 	c.ctrs.Inc("promotions")
+	if c.probe != nil {
+		c.probe.Emit(obs.Promote(now, g, g-1))
+		if swapped {
+			// A bubble swap is a one-link chain: the promoted block
+			// leaves group g, displacing g-1's victim into the frame
+			// it freed.
+			c.probe.Emit(obs.DemoteLink(now, g-1, g, 1))
+			c.probe.Emit(obs.Place(now, g, 1))
+		} else {
+			// The faster group still had an empty way: a pure move.
+			c.probe.Emit(obs.Place(now, g-1, 0))
+		}
+	}
 	// A swap reads and writes both banks.
 	b1 := c.bankOf(g, set)
 	b2 := c.bankOf(g-1, set)
@@ -427,6 +459,9 @@ func (c *Cache) fill(now int64, set int, tag uint64, write bool) {
 	bank := c.bankOf(slowest, set)
 	if l.valid {
 		c.ctrs.Inc("evictions")
+		if c.probe != nil {
+			c.probe.Emit(obs.Evict(now, slowest, l.dirty))
+		}
 		if l.dirty {
 			c.ctrs.Inc("writebacks")
 			c.chargeBank(bank, now) // victim read
@@ -436,6 +471,9 @@ func (c *Cache) fill(now int64, set int, tag uint64, write bool) {
 	*l = line{valid: true, dirty: write, tag: tag}
 	c.touch(set, way)
 	c.chargeBank(bank, now) // fill write
+	if c.probe != nil {
+		c.probe.Emit(obs.Place(now, slowest, 0))
+	}
 }
 
 // Distribution implements memsys.LowerLevel.

@@ -25,6 +25,7 @@ import (
 	"nurapid/internal/floorplan"
 	"nurapid/internal/mathx"
 	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
 	"nurapid/internal/stats"
 )
 
@@ -180,9 +181,10 @@ type Cache struct {
 	framesPerGroup int
 	nParts         int
 
-	port memsys.Port
-	mem  *memsys.Memory
-	rng  *mathx.RNG
+	port  memsys.Port
+	mem   *memsys.Memory
+	rng   *mathx.RNG
+	probe obs.Probe
 
 	dist   *stats.Distribution
 	ctrs   stats.Counters
@@ -280,6 +282,11 @@ func (c *Cache) Name() string {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// SetProbe attaches an observability probe (obs.Probeable). Probes only
+// observe — simulated state and timing are unaffected — and a nil probe
+// restores the zero-overhead fast path. Call before the first access.
+func (c *Cache) SetProbe(p obs.Probe) { c.probe = p }
+
 // partition returns the frame partition for a block of the given set.
 // The mapping is identical in every d-group, so demotion chains stay
 // within one partition and the conservation argument (a freed frame is
@@ -327,6 +334,9 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 
 func (c *Cache) access(now int64, addr uint64, write bool) memsys.AccessResult {
 	c.ctrs.Inc("accesses")
+	if c.probe != nil {
+		c.probe.Emit(obs.Access(now, addr, write))
+	}
 	set := c.geo.SetIndex(addr)
 	way, hit := c.tags.Lookup(addr)
 	if hit {
@@ -357,6 +367,9 @@ func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResu
 	done := start + grp.latency
 	c.chargeAccess(g)
 	c.dist.AddHit(g)
+	if c.probe != nil {
+		c.probe.Emit(obs.Hit(now, g, done-now))
+	}
 
 	trigger := uint8(1)
 	if c.cfg.PromoteHits > 1 {
@@ -365,11 +378,11 @@ func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResu
 	switch c.cfg.Promotion {
 	case NextFastest:
 		if g > 0 && grp.frames[f].hits >= trigger {
-			c.moveBlock(set, way, g, g-1)
+			c.moveBlock(now, set, way, g, g-1)
 		}
 	case Fastest:
 		if g > 0 && grp.frames[f].hits >= trigger {
-			c.moveBlock(set, way, g, 0)
+			c.moveBlock(now, set, way, g, 0)
 		}
 	}
 	return memsys.AccessResult{Hit: true, DoneAt: done, Group: g}
@@ -385,6 +398,9 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 	c.energy += c.tagNJ
 	c.dist.AddMiss()
 	c.ctrs.Inc("misses")
+	if c.probe != nil {
+		c.probe.Emit(obs.Miss(now, addr))
+	}
 
 	// Conventional data replacement: evict the set's LRU block from the
 	// cache, freeing a frame somewhere (paper Fig. 2 step 2).
@@ -394,6 +410,9 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 		vg, vf := c.decodeFrame(vl.Aux)
 		c.groups[vg].release(vf)
 		c.ctrs.Inc("evictions")
+		if c.probe != nil {
+			c.probe.Emit(obs.Evict(now, vg, vl.Dirty))
+		}
 		if vl.Dirty {
 			c.ctrs.Inc("writebacks")
 			c.chargeAccess(vg) // victim read for writeback
@@ -409,7 +428,7 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 	}
 	// Distance placement: the new block goes to the fastest d-group,
 	// demotions rippling outward until the freed frame absorbs them.
-	c.place(int32(set), int8(way), 0)
+	c.place(now, int32(set), int8(way), 0)
 	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
 }
 
@@ -417,14 +436,17 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 // d-group `to` (to < from): its current frame is released, and placement
 // into `to` demotes victims outward; the chain terminates at the released
 // frame at the latest.
-func (c *Cache) moveBlock(set, way, from, to int) {
+func (c *Cache) moveBlock(now int64, set, way, from, to int) {
 	line := c.tags.Line(set, way)
 	_, f := c.decodeFrame(line.Aux)
 	c.groups[from].release(f)
 	c.ctrs.Inc("promotions")
+	if c.probe != nil {
+		c.probe.Emit(obs.Promote(now, from, to))
+	}
 	// Reading the promoted block out of its old group happened as part
 	// of the serve; only the movement writes/reads below are extra.
-	c.place(int32(set), int8(way), to)
+	c.place(now, int32(set), int8(way), to)
 }
 
 // place installs the block identified by its tag coordinates into
@@ -432,7 +454,8 @@ func (c *Cache) moveBlock(set, way, from, to int) {
 // free frame, a victim is selected, displaced, and recursively placed
 // one group farther. Conservation of frames guarantees termination; the
 // worst case is nGroups-1 demotions (paper Sec. 2.2).
-func (c *Cache) place(set int32, way int8, g int) {
+func (c *Cache) place(now int64, set int32, way int8, g int) {
+	depth := 0
 	for {
 		if g >= len(c.groups) {
 			panic("nurapid: demotion ripple ran past the slowest d-group")
@@ -443,6 +466,15 @@ func (c *Cache) place(set int32, way int8, g int) {
 			grp.occupy(f, set, way)
 			c.tags.Line(int(set), int(way)).Aux = encodeFrame(g, f, c.framesPerGroup)
 			c.chargeAccess(g) // fill write, off the port's critical path
+			if c.probe != nil {
+				c.probe.Emit(obs.Place(now, g, depth))
+				if depth > 0 {
+					// Movement extended the single port: report the
+					// backlog this chain left behind the triggering
+					// access (swap-buffer pressure).
+					c.probe.Emit(obs.SwapBacklog(now, c.port.FreeAt()-now))
+				}
+			}
 			return
 		}
 		fv := grp.victim(p, c.cfg.Distance == LRUDistance, c.rng)
@@ -452,6 +484,10 @@ func (c *Cache) place(set int32, way int8, g int) {
 		c.chargeAccess(g) // incoming write
 		c.port.Extend(2 * movementOccupancy)
 		c.ctrs.Inc("demotions")
+		depth++
+		if c.probe != nil {
+			c.probe.Emit(obs.DemoteLink(now, g, g+1, depth))
+		}
 		set, way = oldSet, oldWay
 		g++
 	}

@@ -1,0 +1,235 @@
+// Package obs is the microarchitectural observability layer: a typed
+// probe interface the cache organizations (internal/nurapid, nuca, uca)
+// emit fine-grained events into — per-access outcomes, placement,
+// promotion, each demotion-chain link with its depth, evictions, and
+// swap-buffer backlog — plus ready-made probes: an in-memory Collector
+// (histograms + counters), an epoch-based d-group occupancy Sampler,
+// a buffered JSONL TraceSink, and Multi for fan-out.
+//
+// The paper's key claims live below the run level: demotion chains that
+// "ripple until an empty frame absorbs them", promotion traffic, and
+// per-d-group residence (Figures 4, 5, 7). Run-level IPC says which
+// policy wins; this layer shows why.
+//
+// Overhead contract: probes are strictly observational (they never alter
+// simulated state or timing), events are fixed-size structs passed by
+// value (no allocation on the emitting path), and every emission site
+// sits behind a nil-probe check, so a simulation without a probe pays
+// one predictable branch per event site and rendered experiment output
+// stays byte-identical to a probe-free build. With a fixed workload
+// seed, the event stream is deterministic: two traced runs of the same
+// (app, organization, seed) produce identical event sequences.
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"nurapid/internal/stats"
+)
+
+// Kind distinguishes the microarchitectural events a Probe sees.
+type Kind uint8
+
+const (
+	// KindAccess fires once per lower-level cache access, before the
+	// outcome is known. Addr and Write are set.
+	KindAccess Kind = iota
+	// KindHit fires when an access is served by the cache. Group is the
+	// serving d-group (latency group), Lat the observed serve latency in
+	// cycles, port/bank queueing included.
+	KindHit
+	// KindMiss fires when an access misses to memory. Addr is set.
+	KindMiss
+	// KindPlace fires when a block is installed into a free frame:
+	// Group is the absorbing d-group and Depth the number of demotion
+	// links that rippled before this install (0 = direct placement).
+	// Every placement chain ends in exactly one KindPlace.
+	KindPlace
+	// KindPromote fires when a hit block leaves Group `From` to be
+	// re-placed closer (Group is the requested destination); the
+	// subsequent KindDemote/KindPlace events describe where the
+	// displaced blocks went.
+	KindPromote
+	// KindDemote fires once per demotion-chain link: the victim of
+	// Group `From` is displaced into Group `Group`. Depth is the link's
+	// 1-based index within its chain.
+	KindDemote
+	// KindEvict fires when a block leaves the cache entirely (data
+	// replacement). Group is the d-group whose frame was freed, Dirty
+	// whether the victim required a writeback.
+	KindEvict
+	// KindSwap reports swap-buffer pressure after a movement chain: Lat
+	// is the single port's outstanding backlog in cycles beyond the
+	// access that triggered the movement.
+	KindSwap
+
+	numKinds
+)
+
+// kindNames are the Kind wire names used in JSONL traces, indexed by
+// Kind.
+var kindNames = [numKinds]string{
+	"access", "hit", "miss", "place", "promote", "demote", "evict", "swap",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindByName resolves a trace wire name back to its Kind.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one microarchitectural event. It is a fixed-size value —
+// emitting one allocates nothing — and only the fields meaningful for
+// its Kind are set; group fields are -1 when not applicable. Use the
+// constructor helpers (Access, Hit, ...) so the not-applicable fields
+// get their canonical values.
+type Event struct {
+	Kind Kind
+	// Now is the cycle of the access that produced the event.
+	Now int64
+	// Addr is the accessed block address (KindAccess, KindMiss).
+	Addr uint64
+	// Group is the serving or destination d-group; -1 when n/a.
+	Group int16
+	// From is the source d-group of a movement; -1 when n/a.
+	From int16
+	// Depth is the demotion-chain link index (KindDemote, 1-based) or
+	// the chain length absorbed by an install (KindPlace).
+	Depth uint8
+	// Write marks a write access (KindAccess).
+	Write bool
+	// Dirty marks an eviction that required a writeback (KindEvict).
+	Dirty bool
+	// Lat is the observed hit latency (KindHit) or the port backlog in
+	// cycles a movement chain left behind (KindSwap).
+	Lat int64
+}
+
+// Access builds a KindAccess event.
+func Access(now int64, addr uint64, write bool) Event {
+	return Event{Kind: KindAccess, Now: now, Addr: addr, Group: -1, From: -1, Write: write}
+}
+
+// Hit builds a KindHit event for a hit served by group at the observed
+// latency.
+func Hit(now int64, group int, lat int64) Event {
+	return Event{Kind: KindHit, Now: now, Group: int16(group), From: -1, Lat: lat}
+}
+
+// Miss builds a KindMiss event.
+func Miss(now int64, addr uint64) Event {
+	return Event{Kind: KindMiss, Now: now, Addr: addr, Group: -1, From: -1}
+}
+
+// Place builds a KindPlace event: a block absorbed by a free frame of
+// group after depth demotion links.
+func Place(now int64, group, depth int) Event {
+	return Event{Kind: KindPlace, Now: now, Group: int16(group), From: -1, Depth: uint8(depth)}
+}
+
+// Promote builds a KindPromote event: a block left `from` heading for
+// `to`.
+func Promote(now int64, from, to int) Event {
+	return Event{Kind: KindPromote, Now: now, Group: int16(to), From: int16(from)}
+}
+
+// DemoteLink builds a KindDemote event: chain link number depth
+// displaced the victim of `from` into `to`.
+func DemoteLink(now int64, from, to, depth int) Event {
+	return Event{Kind: KindDemote, Now: now, Group: int16(to), From: int16(from), Depth: uint8(depth)}
+}
+
+// Evict builds a KindEvict event: a block left the cache, freeing a
+// frame in group.
+func Evict(now int64, group int, dirty bool) Event {
+	return Event{Kind: KindEvict, Now: now, Group: int16(group), From: -1, Dirty: dirty}
+}
+
+// SwapBacklog builds a KindSwap event: after a movement chain, the
+// single port is booked lat cycles beyond the triggering access.
+func SwapBacklog(now, lat int64) Event {
+	return Event{Kind: KindSwap, Now: now, Group: -1, From: -1, Lat: lat}
+}
+
+// Probe receives microarchitectural events from one cache instance.
+// Implementations are called synchronously from the simulation's hot
+// path: they must be cheap, must not retain pointers into the caller,
+// and need no locking (one simulation runs on one goroutine).
+type Probe interface {
+	Emit(Event)
+}
+
+// Probeable is implemented by cache organizations that accept a probe.
+// SetProbe must be called before the first access; a nil probe restores
+// the zero-overhead fast path.
+type Probeable interface {
+	SetProbe(Probe)
+}
+
+// multi fans events out to several probes in order.
+type multi []Probe
+
+// Multi returns a probe that forwards every event to each non-nil probe
+// in order. With zero or one non-nil probes it returns nil or that
+// probe directly, keeping the fast path short.
+func Multi(probes ...Probe) Probe {
+	kept := make(multi, 0, len(probes))
+	for _, p := range probes {
+		if p != nil {
+			kept = append(kept, p)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// Emit implements Probe.
+func (m multi) Emit(e Event) {
+	for _, p := range m {
+		p.Emit(e)
+	}
+}
+
+// Snapshot concatenates the sub-probes' snapshots in fan-out order, so
+// a composed probe reports everything its members report (sim harvests
+// snapshots through this interface).
+func (m multi) Snapshot() []stats.KV {
+	var out []stats.KV
+	for _, p := range m {
+		if s, ok := p.(interface{ Snapshot() []stats.KV }); ok {
+			out = append(out, s.Snapshot()...)
+		}
+	}
+	return out
+}
+
+// Close closes every sub-probe that holds resources, returning the
+// first error.
+func (m multi) Close() error {
+	var first error
+	for _, p := range m {
+		if c, ok := p.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

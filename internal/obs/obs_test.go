@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// canonicalEvents covers every kind with its meaningful fields set.
+func canonicalEvents() []Event {
+	return []Event{
+		Access(12, 0x1000_0000, true),
+		Access(16, 0x1000_0080, false),
+		Hit(16, 0, 14),
+		Miss(20, 0x2000_0000),
+		Place(20, 1, 1),
+		Promote(24, 2, 1),
+		DemoteLink(24, 1, 2, 1),
+		Evict(20, 3, true),
+		Evict(28, 0, false),
+		SwapBacklog(24, 4),
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatalf("unknown kind stringer = %q", Kind(200).String())
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Fatal("KindByName accepted a bogus name")
+	}
+}
+
+// TestTraceRoundTrip pins the JSONL encoding and checks decode restores
+// every canonical event exactly.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTraceSink(&buf)
+	events := canonicalEvents()
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Events() != int64(len(events)) {
+		t.Fatalf("sink counted %d events, want %d", sink.Events(), len(events))
+	}
+
+	wantFirst := `{"k":"access","t":12,"addr":268435456,"w":true}`
+	if got := strings.SplitN(buf.String(), "\n", 2)[0]; got != wantFirst {
+		t.Fatalf("first trace line\n got %s\nwant %s", got, wantFirst)
+	}
+
+	var back []Event
+	if err := DecodeTrace(bytes.NewReader(buf.Bytes()), func(e Event) error {
+		back = append(back, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(back), len(events))
+	}
+	for i, e := range events {
+		if back[i] != e {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, back[i], e)
+		}
+	}
+}
+
+func TestDecodeTraceRejectsGarbage(t *testing.T) {
+	if err := DecodeTrace(strings.NewReader("{\"k\":\"noevent\",\"t\":1}\n"), func(Event) error { return nil }); err == nil {
+		t.Fatal("unknown kind not rejected")
+	}
+	if err := DecodeTrace(strings.NewReader("not json\n"), func(Event) error { return nil }); err == nil {
+		t.Fatal("malformed line not rejected")
+	}
+	// Blank lines are fine.
+	n := 0
+	if err := DecodeTrace(strings.NewReader("\n{\"k\":\"swap\",\"t\":1,\"lat\":2}\n\n"), func(Event) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d events, want 1", n)
+	}
+}
+
+// TestCollectorAggregation feeds a synthetic run and checks counters,
+// histograms, and per-group hits.
+func TestCollectorAggregation(t *testing.T) {
+	c := NewCollector()
+	// Two accesses: one hit in group 1 at 30 cycles, one miss whose
+	// placement rippled through two demotion links after an eviction.
+	c.Emit(Access(0, 0x100, false))
+	c.Emit(Hit(0, 1, 30))
+	c.Emit(Access(4, 0x200, true))
+	c.Emit(Miss(4, 0x200))
+	c.Emit(Evict(4, 3, true))
+	c.Emit(DemoteLink(4, 0, 1, 1))
+	c.Emit(DemoteLink(4, 1, 2, 2))
+	c.Emit(Place(4, 2, 2))
+	c.Emit(SwapBacklog(4, 4))
+
+	ctrs := c.Counters()
+	for name, want := range map[string]int64{
+		"accesses": 2, "writes": 1, "hits": 1, "misses": 1,
+		"placements": 1, "demotions": 2, "evictions": 1,
+		"dirty_evictions": 1, "swap_backlogs": 1, "swap_backlog_cycles": 4,
+	} {
+		if got := ctrs.Get(name); got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := c.ChainDepth().Count(2); got != 1 {
+		t.Errorf("chain depth bucket 2 = %d, want 1", got)
+	}
+	if got := c.ChainDepth().Total(); got != 1 {
+		t.Errorf("chain depth total = %d, want 1", got)
+	}
+	if got := c.HitLatency().Count(30 / 8); got != 1 {
+		t.Errorf("hit latency bucket = %d, want 1", got)
+	}
+	hits := c.GroupHits()
+	if len(hits) != 2 || hits[1] != 1 {
+		t.Errorf("group hits = %v, want [0 1]", hits)
+	}
+	if len(c.Snapshot()) == 0 {
+		t.Error("empty collector snapshot")
+	}
+}
+
+// TestSamplerOccupancy checks the occupancy reconstruction and epoch
+// sampling against a hand-traced movement sequence.
+func TestSamplerOccupancy(t *testing.T) {
+	s := NewSampler("occ", 2)
+	// Fill: two blocks into group 0.
+	s.Emit(Place(0, 0, 0))
+	s.Emit(Place(1, 0, 0))
+	// Miss chain: eviction frees group 2, demotion link 0->1 is
+	// neutral, the chain's final install lands in group 1.
+	s.Emit(Evict(2, 2, false))
+	s.Emit(DemoteLink(2, 0, 1, 1))
+	s.Emit(Place(2, 1, 1))
+	// Promotion: block leaves group 1, re-placed into group 0.
+	s.Emit(Promote(3, 1, 0))
+	s.Emit(Place(3, 0, 0))
+
+	want := []int64{3, 0, -1}
+	got := s.Occupancy()
+	if len(got) != len(want) {
+		t.Fatalf("occupancy %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("occupancy %v, want %v", got, want)
+		}
+	}
+
+	if s.NumSamples() != 0 {
+		t.Fatalf("samples before any access = %d", s.NumSamples())
+	}
+	s.Emit(Access(4, 0x1, false))
+	s.Emit(Access(5, 0x2, false))
+	s.Emit(Access(6, 0x3, false))
+	if s.NumSamples() != 1 {
+		t.Fatalf("samples after one epoch = %d, want 1", s.NumSamples())
+	}
+	samp := s.Sample(0)
+	if samp[0] != 3 {
+		t.Fatalf("sample 0 = %v", samp)
+	}
+	if s.EpochAccesses() != 2 || s.Name() != "occ" || s.NumGroups() != 3 {
+		t.Fatal("sampler accessors wrong")
+	}
+	if len(s.Snapshot()) == 0 {
+		t.Fatal("empty sampler snapshot")
+	}
+	if NewSampler("d", 0).EpochAccesses() != DefaultEpochAccesses {
+		t.Fatal("default epoch not applied")
+	}
+}
+
+// TestMulti checks fan-out order, nil skipping, and collapsing.
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi must be nil")
+	}
+	c := NewCollector()
+	if Multi(nil, c) != Probe(c) {
+		t.Fatal("single-probe Multi must collapse")
+	}
+	s := NewSampler("occ", 0)
+	m := Multi(c, nil, s)
+	m.Emit(Place(0, 0, 0))
+	if c.Counters().Get("placements") != 1 || s.Occupancy()[0] != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+}

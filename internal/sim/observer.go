@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"nurapid/internal/stats"
 )
 
 // EventKind distinguishes the lifecycle points an Observer sees.
@@ -46,6 +48,10 @@ type RunEvent struct {
 	APKI    float64
 	HasAPKI bool          // false for variants that do not report APKI
 	Elapsed time.Duration // zero unless the Runner has a clock
+	// Metrics is the run's full metrics snapshot (RunResult.Snapshot),
+	// including any obs_-prefixed probe metrics. Observers must not
+	// mutate it.
+	Metrics []stats.KV
 }
 
 // Observer receives run lifecycle events. The Runner serializes Observe

@@ -70,6 +70,25 @@ func WithObserver(o Observer) Option {
 	return func(r *Runner) { r.observer = o }
 }
 
+// WithProbe attaches a per-run probe factory. The factory is called
+// once per executed (non-memoized) simulation; the returned probe is
+// wired into the lower-level organization (obs.Probeable) before the
+// run and its Snapshot, if it has one, lands in RunResult.ObsMetrics
+// afterwards. A nil factory or a factory returning nil keeps the
+// organization's nil-probe fast path, so disabled probing costs one
+// pointer compare per emission site.
+func WithProbe(f ProbeFactory) Option {
+	return func(r *Runner) { r.probe = f }
+}
+
+// WithTrace writes one JSONL event trace per executed run into dir,
+// named <app>__<org>.jsonl. The directory must exist. Traces compose
+// with WithProbe (both receive every event). File-creation and flush
+// errors never abort a run; check Runner.ProbeErr after the experiment.
+func WithTrace(dir string) Option {
+	return func(r *Runner) { r.traceDir = dir }
+}
+
 // WithClock supplies a monotonic clock used only to stamp
 // RunEvent.Elapsed. The default (nil) leaves Elapsed zero, keeping the
 // sim package free of wall-clock reads; callers that want real timings

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nurapid/internal/nurapid"
+	"nurapid/internal/obs"
+	"nurapid/internal/stats"
+	"nurapid/internal/workload"
+)
+
+// TestProbeObserverParallelDelivery checks the Runner's observer
+// contract under a parallel pool: Observe calls never overlap (the
+// Runner serializes them), every executed run produces exactly one
+// start/finish pair, and finish events carry the metrics snapshot.
+func TestProbeObserverParallelDelivery(t *testing.T) {
+	var inFlight, overlaps int32
+	type pair struct{ starts, finishes int }
+	pairs := make(map[string]*pair)
+	obsv := ObserverFunc(func(e RunEvent) {
+		if atomic.AddInt32(&inFlight, 1) != 1 {
+			atomic.AddInt32(&overlaps, 1)
+		}
+		key := e.App + "/" + e.Org
+		p := pairs[key]
+		if p == nil {
+			p = &pair{}
+			pairs[key] = p
+		}
+		switch e.Kind {
+		case RunStart:
+			p.starts++
+			if e.Metrics != nil {
+				t.Error("start event carries metrics")
+			}
+		case RunFinish:
+			p.finishes++
+			if len(e.Metrics) == 0 {
+				t.Error("finish event missing metrics snapshot")
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+
+	r := smallRunner(t, WithWorkers(4), WithObserver(obsv))
+	orgs := []Organization{Base(), NuRAPID(nurapid.DefaultConfig())}
+	r.Prefetch(r.Apps, orgs)
+	// Re-running everything must observe nothing new (memoized).
+	for _, app := range r.Apps {
+		for _, org := range orgs {
+			r.Run(app, org)
+		}
+	}
+
+	if overlaps != 0 {
+		t.Fatalf("%d overlapping Observe calls; delivery must be serialized", overlaps)
+	}
+	if len(pairs) != len(r.Apps)*len(orgs) {
+		t.Fatalf("observed %d runs, want %d", len(pairs), len(r.Apps)*len(orgs))
+	}
+	for key, p := range pairs {
+		if p.starts != 1 || p.finishes != 1 {
+			t.Fatalf("run %s observed %d starts / %d finishes, want 1/1", key, p.starts, p.finishes)
+		}
+	}
+}
+
+// memProbe wraps a TraceSink over an in-memory buffer so tests can
+// compare raw trace bytes.
+type memProbe struct {
+	mu   sync.Mutex
+	bufs map[string]*bytes.Buffer
+}
+
+func (m *memProbe) factory(app, org string) obs.Probe {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bufs == nil {
+		m.bufs = make(map[string]*bytes.Buffer)
+	}
+	buf := &bytes.Buffer{}
+	m.bufs[app+"/"+org] = buf
+	return obs.NewTraceSink(buf)
+}
+
+// TestTraceDeterminismFixedSeed checks that two runners at the same
+// seed emit byte-identical event traces, including under a parallel
+// worker pool.
+func TestTraceDeterminismFixedSeed(t *testing.T) {
+	run := func(workers int) map[string]*bytes.Buffer {
+		m := &memProbe{}
+		r := smallRunner(t, WithWorkers(workers), WithProbe(m.factory))
+		orgs := []Organization{NuRAPID(nurapid.DefaultConfig()), Base()}
+		r.Prefetch(r.Apps, orgs)
+		for _, app := range r.Apps { // serial runners compute on demand
+			for _, org := range orgs {
+				r.Run(app, org)
+			}
+		}
+		if err := r.ProbeErr(); err != nil {
+			t.Fatal(err)
+		}
+		return m.bufs
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) == 0 || len(serial) != len(parallel) {
+		t.Fatalf("trace sets differ in size: %d vs %d", len(serial), len(parallel))
+	}
+	for key, a := range serial {
+		b := parallel[key]
+		if b == nil {
+			t.Fatalf("run %s missing from parallel traces", key)
+		}
+		if a.Len() == 0 {
+			t.Fatalf("run %s produced an empty trace", key)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("run %s traces differ between serial and parallel runners", key)
+		}
+	}
+}
+
+// TestTraceMatchesCounters cross-checks the probe event stream against
+// the cache's own counters: aggregating the trace with a Collector must
+// reproduce the NuRAPID demotion/promotion/eviction/miss counts. A
+// deliberately tiny cache forces demotion chains and evictions within
+// the short test runs.
+func TestTraceMatchesCounters(t *testing.T) {
+	cfg := nurapid.DefaultConfig()
+	cfg.CapacityBytes = 4 << 20 // 1 MB per d-group: fills within the run
+	mcf, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf missing")
+	}
+	var mu sync.Mutex
+	colls := make(map[string]*obs.Collector)
+	r := NewRunner(WithInstructions(600_000), WithSeed(1), WithApps(mcf),
+		WithProbe(func(app, org string) obs.Probe {
+			mu.Lock()
+			defer mu.Unlock()
+			c := obs.NewCollector()
+			colls[app] = c
+			return c
+		}))
+	sawDemotions := false
+	for _, app := range r.Apps {
+		res := r.Run(app, NuRAPID(cfg))
+		c := colls[app.Name]
+		if c == nil {
+			t.Fatalf("no collector for %s", app.Name)
+		}
+		got := c.Counters()
+		for _, name := range []string{"accesses", "misses", "evictions", "promotions", "demotions"} {
+			if g, w := got.Get(name), res.L2Ctrs.Get(name); g != w {
+				t.Errorf("%s: collector %s = %d, cache counter = %d", app.Name, name, g, w)
+			}
+		}
+		if got.Get("demotions") > 0 {
+			sawDemotions = true
+		}
+		if g, w := got.Get("hits"), res.L2Ctrs.Get("accesses")-res.L2Ctrs.Get("misses"); g != w {
+			t.Errorf("%s: collector hits = %d, want accesses-misses = %d", app.Name, g, w)
+		}
+		if got.Get("placements") == 0 {
+			t.Errorf("%s: no placements observed", app.Name)
+		}
+		// The harvested snapshot must surface the same counters under
+		// the obs_ prefix.
+		snap := res.Snapshot()
+		found := false
+		for _, kv := range snap {
+			if kv.Name == "obs_accesses" && int64(kv.Value) == got.Get("accesses") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: obs_accesses missing from result snapshot", app.Name)
+		}
+	}
+	if !sawDemotions {
+		t.Error("no demotion chains exercised; shrink the cache or lengthen the run")
+	}
+}
+
+// TestTraceProbeDisabledResultsIdentical checks the overhead contract's
+// correctness half: probing must not change simulation results.
+func TestTraceProbeDisabledResultsIdentical(t *testing.T) {
+	bare := smallRunner(t)
+	probed := smallRunner(t, WithProbe(func(app, org string) obs.Probe {
+		return obs.Multi(obs.NewCollector(), obs.NewSampler("occupancy", 0))
+	}))
+	nilProbed := smallRunner(t, WithProbe(func(app, org string) obs.Probe { return nil }))
+	for _, r := range []*Runner{bare, probed, nilProbed} {
+		for _, app := range r.Apps {
+			r.Run(app, NuRAPID(nurapid.DefaultConfig()))
+		}
+	}
+	for _, app := range bare.Apps {
+		org := NuRAPID(nurapid.DefaultConfig())
+		a := bare.Run(app, org)
+		b := probed.Run(app, org)
+		c := nilProbed.Run(app, org)
+		if a.CPU.Cycles != b.CPU.Cycles || a.CPU.Cycles != c.CPU.Cycles {
+			t.Fatalf("%s: cycles differ with probing: %d / %d / %d",
+				app.Name, a.CPU.Cycles, b.CPU.Cycles, c.CPU.Cycles)
+		}
+		if a.L2EnergyNJ != b.L2EnergyNJ || a.L2EnergyNJ != c.L2EnergyNJ ||
+			a.ED != b.ED || a.ED != c.ED {
+			t.Fatalf("%s: energy differs with probing", app.Name)
+		}
+		if len(a.ObsMetrics) != 0 || len(c.ObsMetrics) != 0 {
+			t.Fatal("unprobed runs must carry no obs metrics")
+		}
+		if len(b.ObsMetrics) == 0 {
+			t.Fatal("probed run lost its obs metrics")
+		}
+	}
+}
+
+// TestTraceWithTraceWritesFiles checks the WithTrace plumbing end to
+// end: one decodable JSONL file per executed run, and a latched
+// ProbeErr when the directory cannot be written.
+func TestTraceWithTraceWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := smallRunner(t, WithTrace(dir))
+	app := r.Apps[0]
+	org := NuRAPID(nurapid.DefaultConfig())
+	res := r.Run(app, org)
+	if err := r.ProbeErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, app.Name+"__"+org.Key+".jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	coll := obs.NewCollector()
+	if err := obs.DecodeTrace(f, func(e obs.Event) error { coll.Emit(e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := coll.Counters().Get("accesses"), res.L2Ctrs.Get("accesses"); g != w {
+		t.Fatalf("trace accesses = %d, cache counter = %d", g, w)
+	}
+	// The sink's own snapshot must surface through the result.
+	found := false
+	for _, kv := range res.ObsMetrics {
+		if kv.Name == "trace_events" && kv.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trace_events missing from ObsMetrics")
+	}
+
+	bad := smallRunner(t, WithTrace(filepath.Join(dir, "missing", "nested")))
+	bad.Run(bad.Apps[0], Base())
+	if bad.ProbeErr() == nil {
+		t.Fatal("unwritable trace dir must latch ProbeErr")
+	}
+}
+
+// TestTraceSweepVariantsProbed checks that the wire-delay sweep's
+// variant runs go through the same probe plumbing as regular runs.
+func TestTraceSweepVariantsProbed(t *testing.T) {
+	var mu sync.Mutex
+	orgs := map[string]bool{}
+	r := smallRunner(t, WithProbe(func(app, org string) obs.Probe {
+		mu.Lock()
+		defer mu.Unlock()
+		orgs[org] = true
+		return obs.NewCollector()
+	}))
+	res := r.runScaledVariant(r.Apps[0], 1.5, true)
+	if len(res.ObsMetrics) == 0 {
+		t.Fatal("sweep variant run lost its obs metrics")
+	}
+	if !orgs["nurapid-wire1.50x"] {
+		t.Fatalf("probe factory saw orgs %v, want nurapid-wire1.50x", orgs)
+	}
+}
+
+// TestTraceRunEventMetricsNames spot-checks the snapshot naming scheme
+// delivered to observers: cpu_ and obs_ prefixes for nested metrics.
+func TestTraceRunEventMetricsNames(t *testing.T) {
+	var metrics []stats.KV
+	r := smallRunner(t,
+		WithProbe(func(app, org string) obs.Probe { return obs.NewCollector() }),
+		WithObserver(ObserverFunc(func(e RunEvent) {
+			if e.Kind == RunFinish && metrics == nil {
+				metrics = e.Metrics
+			}
+		})))
+	r.Run(r.Apps[0], Base())
+	want := map[string]bool{"energy_delay": false, "cpu_instructions": false, "obs_accesses": false}
+	for _, kv := range metrics {
+		if _, ok := want[kv.Name]; ok {
+			want[kv.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric %s missing from finish event (got %d metrics)", name, len(metrics))
+		}
+	}
+}

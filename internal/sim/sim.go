@@ -106,6 +106,10 @@ type RunResult struct {
 
 	Energy energy.Breakdown
 	ED     float64
+
+	// ObsMetrics holds the snapshots harvested from the run's probes
+	// (WithProbe / WithTrace); nil when the run was not probed.
+	ObsMetrics []stats.KV
 }
 
 // Snapshot emits the run's headline metrics plus the nested CPU summary
@@ -119,6 +123,9 @@ func (r *RunResult) Snapshot() []stats.KV {
 	}
 	for _, kv := range r.CPU.Snapshot() {
 		out = append(out, stats.KV{Name: "cpu_" + kv.Name, Value: kv.Value})
+	}
+	for _, kv := range r.ObsMetrics {
+		out = append(out, stats.KV{Name: "obs_" + kv.Name, Value: kv.Value})
 	}
 	return out
 }
@@ -148,6 +155,11 @@ type Runner struct {
 	observer Observer
 	obsMu    sync.Mutex
 	clock    func() time.Duration
+
+	probe    ProbeFactory
+	traceDir string
+	probeMu  sync.Mutex
+	probeErr error
 
 	mu   sync.Mutex
 	memo map[string]*memoCell
@@ -203,7 +215,8 @@ func (r *Runner) runMemo(key, app, org string, hasAPKI bool, compute func() *Run
 		}
 		c.res = res
 		r.emit(RunEvent{Kind: RunFinish, App: app, Org: org,
-			IPC: res.CPU.IPC, APKI: res.CPU.APKI, HasAPKI: hasAPKI, Elapsed: elapsed})
+			IPC: res.CPU.IPC, APKI: res.CPU.APKI, HasAPKI: hasAPKI, Elapsed: elapsed,
+			Metrics: res.Snapshot()})
 	})
 	return c.res
 }
@@ -214,6 +227,7 @@ func (r *Runner) Run(app workload.App, org Organization) *RunResult {
 	return r.runMemo(key, app.Name, org.Key, true, func() *RunResult {
 		mem := memsys.NewMemory(org.blockBytes())
 		l2 := org.Factory(r.Model, mem)
+		probes := r.instrument(app.Name, org.Key, l2)
 		core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
 		gen := workload.MustNewGenerator(app, r.Seed)
 		cres := core.Run(gen, r.Instructions)
@@ -239,6 +253,7 @@ func (r *Runner) Run(app workload.App, org Organization) *RunResult {
 		if nc, ok := l2.(*nurapid.Cache); ok {
 			res.L2GroupAccesses = nc.GroupAccesses()
 		}
+		r.finishProbes(probes, res)
 		return res
 	})
 }

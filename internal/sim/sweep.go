@@ -161,9 +161,10 @@ func (r *Runner) runScaledVariant(app workload.App, scale float64, isNurapid boo
 			mem = memsys.NewMemory(cfg.BlockBytes)
 			l2 = nuca.MustNew(cfg, model, mem)
 		}
+		probes := r.instrument(app.Name, label, l2)
 		core := cpu.MustNew(cpu.DefaultConfig(), l2, model.L1NJ)
 		cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
-		return &RunResult{
+		res := &RunResult{
 			App:         app.Name,
 			Org:         label,
 			CPU:         cres,
@@ -172,5 +173,7 @@ func (r *Runner) runScaledVariant(app workload.App, scale float64, isNurapid boo
 			MemEnergyNJ: mem.EnergyNJ(),
 			MemAccesses: mem.Accesses,
 		}
+		r.finishProbes(probes, res)
+		return res
 	})
 }

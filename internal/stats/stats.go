@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Counters is a named set of monotonically increasing event counts.
@@ -74,11 +75,11 @@ func (c *Counters) Ratio(num, den string) float64 {
 
 // String renders the counters one per line, sorted by name.
 func (c *Counters) String() string {
-	out := ""
+	var b strings.Builder
 	for _, n := range c.Names() {
-		out += fmt.Sprintf("%-32s %12d\n", n, c.m[n])
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
 	}
-	return out
+	return b.String()
 }
 
 // Percent formats a fraction as "NN.N%".

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"strings"
 	"testing"
 )
 
@@ -53,12 +52,21 @@ func TestCountersRatio(t *testing.T) {
 	}
 }
 
+// TestCountersString pins the exact rendering (name left-aligned to 32,
+// value right-aligned to 12, sorted by name): callers diff this output,
+// so the format is part of the contract.
 func TestCountersString(t *testing.T) {
 	var c Counters
+	c.Add("beta", 3)
 	c.Add("alpha", 12)
-	s := c.String()
-	if !strings.Contains(s, "alpha") || !strings.Contains(s, "12") {
-		t.Fatalf("String() = %q missing content", s)
+	want := "alpha                                      12\n" +
+		"beta                                        3\n"
+	if got := c.String(); got != want {
+		t.Fatalf("String() =\n%q\nwant\n%q", got, want)
+	}
+	var empty Counters
+	if got := empty.String(); got != "" {
+		t.Fatalf("empty String() = %q, want empty", got)
 	}
 }
 

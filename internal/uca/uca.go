@@ -10,6 +10,7 @@ import (
 	"nurapid/internal/cache"
 	"nurapid/internal/cacti"
 	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
 	"nurapid/internal/stats"
 )
 
@@ -38,6 +39,7 @@ type Uniform struct {
 	dist      *stats.Distribution
 	ctrs      stats.Counters
 	energy    float64
+	probe     obs.Probe
 }
 
 // UniformConfig parameterizes a Uniform cache.
@@ -89,24 +91,45 @@ func NewIdeal(m *cacti.Model, mem *memsys.Memory) *Uniform {
 // Name implements memsys.LowerLevel.
 func (u *Uniform) Name() string { return u.name }
 
+// SetProbe attaches an observability probe (obs.Probeable). Probes only
+// observe; a nil probe restores the zero-overhead fast path. The
+// uniform cache is a single latency group, so every hit and placement
+// reports group 0.
+func (u *Uniform) SetProbe(p obs.Probe) { u.probe = p }
+
 // Access implements memsys.LowerLevel.
 func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := u.port.Acquire(now, u.occupancy)
 	u.ctrs.Inc("accesses")
+	if u.probe != nil {
+		u.probe.Emit(obs.Access(now, addr, write))
+	}
 	out := u.c.Access(addr, write)
-	if out.Evicted != nil && out.Evicted.Dirty {
-		u.ctrs.Inc("writebacks")
-		u.energy += u.accessNJ // victim read for writeback
-		u.mem.Write()
+	if out.Evicted != nil {
+		if u.probe != nil {
+			u.probe.Emit(obs.Evict(now, 0, out.Evicted.Dirty))
+		}
+		if out.Evicted.Dirty {
+			u.ctrs.Inc("writebacks")
+			u.energy += u.accessNJ // victim read for writeback
+			u.mem.Write()
+		}
 	}
 	if out.Hit {
 		u.dist.AddHit(0)
 		u.energy += u.accessNJ
+		if u.probe != nil {
+			u.probe.Emit(obs.Hit(now, 0, start+u.hitLat-now))
+		}
 		return memsys.AccessResult{Hit: true, DoneAt: start + u.hitLat, Group: 0}
 	}
 	u.dist.AddMiss()
 	u.energy += tagOnlyNJ  // miss discovered in the tag array
 	u.energy += u.accessNJ // fill write when data returns
+	if u.probe != nil {
+		u.probe.Emit(obs.Miss(now, addr))
+		u.probe.Emit(obs.Place(now, 0, 0))
+	}
 	done := u.mem.Read(start + u.tagLat)
 	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
 }
@@ -137,6 +160,7 @@ type Hierarchy struct {
 	dist           *stats.Distribution
 	ctrs           stats.Counters
 	energy         float64
+	probe          obs.Probe
 }
 
 // NewHierarchy builds the base L2/L3 configuration with energies from the
@@ -159,39 +183,71 @@ func NewHierarchy(m *cacti.Model, mem *memsys.Memory) *Hierarchy {
 // Name implements memsys.LowerLevel.
 func (h *Hierarchy) Name() string { return "base-l2l3" }
 
+// SetProbe attaches an observability probe (obs.Probeable). Probes only
+// observe; a nil probe restores the zero-overhead fast path. The
+// hierarchy reports the L2 as group 0 and the L3 as group 1, matching
+// its access distribution.
+func (h *Hierarchy) SetProbe(p obs.Probe) { h.probe = p }
+
 // Access implements memsys.LowerLevel.
 func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := h.l2Port.Acquire(now, 4)
 	h.ctrs.Inc("accesses")
+	if h.probe != nil {
+		h.probe.Emit(obs.Access(now, addr, write))
+	}
 	o2 := h.l2.Access(addr, write)
-	if o2.Evicted != nil && o2.Evicted.Dirty {
-		h.writebackToL3(o2.Evicted.Addr)
+	if o2.Evicted != nil {
+		if h.probe != nil {
+			h.probe.Emit(obs.Evict(now, 0, o2.Evicted.Dirty))
+		}
+		if o2.Evicted.Dirty {
+			h.writebackToL3(o2.Evicted.Addr)
+		}
 	}
 	if o2.Hit {
 		h.dist.AddHit(0)
 		h.energy += h.l2NJ
+		if h.probe != nil {
+			h.probe.Emit(obs.Hit(now, 0, start+h.l2Lat-now))
+		}
 		return memsys.AccessResult{Hit: true, DoneAt: start + h.l2Lat, Group: 0}
 	}
 	h.energy += tagOnlyNJ // L2 miss discovered in its tags
 	h.energy += h.l2NJ    // eventual L2 fill write
+	if h.probe != nil {
+		h.probe.Emit(obs.Place(now, 0, 0)) // L2 allocates on miss
+	}
 
 	start3 := h.l3Port.Acquire(start+h.l2Tag, 8)
 	o3 := h.l3.Access(addr, write)
-	if o3.Evicted != nil && o3.Evicted.Dirty {
-		h.ctrs.Inc("l3_writebacks")
-		h.energy += h.l3NJ
-		h.mem.Write()
+	if o3.Evicted != nil {
+		if h.probe != nil {
+			h.probe.Emit(obs.Evict(now, 1, o3.Evicted.Dirty))
+		}
+		if o3.Evicted.Dirty {
+			h.ctrs.Inc("l3_writebacks")
+			h.energy += h.l3NJ
+			h.mem.Write()
+		}
 	}
 	if o3.Hit {
 		h.dist.AddHit(1)
 		h.energy += h.l3NJ
 		h.ctrs.Inc("l3_hits")
+		if h.probe != nil {
+			h.probe.Emit(obs.Hit(now, 1, start3+h.l3Lat-now))
+		}
 		return memsys.AccessResult{Hit: true, DoneAt: start3 + h.l3Lat, Group: 1}
 	}
 	h.dist.AddMiss()
 	h.ctrs.Inc("misses")
 	h.energy += tagOnlyNJ // L3 miss discovered in its tags
 	h.energy += h.l3NJ    // eventual L3 fill write
+	if h.probe != nil {
+		h.probe.Emit(obs.Miss(now, addr))
+		h.probe.Emit(obs.Place(now, 1, 0)) // L3 allocates on miss
+	}
 	done := h.mem.Read(start3 + h.l3Tag)
 	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
 }

@@ -42,6 +42,7 @@ import (
 	"nurapid/internal/memsys"
 	"nurapid/internal/nuca"
 	core "nurapid/internal/nurapid"
+	"nurapid/internal/obs"
 	"nurapid/internal/sim"
 	"nurapid/internal/uca"
 	"nurapid/internal/workload"
@@ -155,6 +156,18 @@ type (
 	RunEvent = sim.RunEvent
 	// EventKind distinguishes start and finish events.
 	EventKind = sim.EventKind
+	// ProbeFactory builds one microarchitectural probe per executed run.
+	ProbeFactory = sim.ProbeFactory
+	// Probe receives microarchitectural events from a cache organization.
+	Probe = obs.Probe
+	// ProbeEvent is one microarchitectural event.
+	ProbeEvent = obs.Event
+	// ProbeCollector aggregates probe events into counters + histograms.
+	ProbeCollector = obs.Collector
+	// OccupancySampler samples per-d-group occupancy once per epoch.
+	OccupancySampler = obs.Sampler
+	// TraceSink streams probe events as JSONL.
+	TraceSink = obs.TraceSink
 )
 
 // Run lifecycle event kinds.
@@ -256,6 +269,12 @@ func WithApps(apps ...App) RunnerOption { return sim.WithApps(apps...) }
 
 // WithObserver attaches a structured observer for run events.
 func WithObserver(o Observer) RunnerOption { return sim.WithObserver(o) }
+
+// WithProbe attaches a per-run microarchitectural probe factory.
+func WithProbe(f ProbeFactory) RunnerOption { return sim.WithProbe(f) }
+
+// WithTrace writes one JSONL event trace per executed run into dir.
+func WithTrace(dir string) RunnerOption { return sim.WithTrace(dir) }
 
 // WithModel substitutes the physical timing/energy model (for example
 // DefaultModel().Scaled(1.5) for slower wires).
