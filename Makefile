@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-runner lint fmt bench bench-runner obs-bench audit ci
+.PHONY: build test race race-runner lint fmt bench bench-runner obs-bench audit diff-fuzz diff-fuzz-long ci
 
 build:
 	$(GO) build ./...
@@ -56,4 +56,18 @@ obs-bench:
 audit:
 	$(GO) test ./internal/nurapid/ -run TestAuditedAccessStorm -v
 
-ci: build test race race-runner lint bench bench-runner obs-bench
+# diff-fuzz: the differential oracle at CI depth — every policy-matrix
+# cell (placements x promotions x distance policies x triggers x two
+# geometries) runs every adversarial workload for >=10k accesses against
+# both the fast implementation and the executable spec, under -race.
+# Divergences are shrunk and dumped as JSONL into $(DIFF_FUZZ_ARTIFACTS)
+# (defaults to the test's temp dir).
+diff-fuzz:
+	DIFF_FUZZ=1 $(GO) test -race -count=1 -v -run 'TestDifferentialMatrix|TestSeededFault' ./internal/refmodel/difftest/
+
+# diff-fuzz-long: the nightly soak (100k accesses per cell). Set
+# DIFF_FUZZ_ARTIFACTS to keep shrunk reproducers outside the temp dir.
+diff-fuzz-long:
+	DIFF_FUZZ_LONG=1 $(GO) test -count=1 -timeout 60m -v -run TestDifferentialMatrix ./internal/refmodel/difftest/
+
+ci: build test race race-runner lint bench bench-runner obs-bench diff-fuzz

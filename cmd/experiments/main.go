@@ -21,18 +21,26 @@
 // nurapidtrace); -http serves /debug/vars (run progress counters) and
 // /debug/pprof while the experiments run. Neither affects the rendered
 // tables.
+//
+// -selfcheck runs a short differential comparison of the NuRAPID
+// implementation against its executable spec (internal/refmodel) before
+// rendering anything, and aborts on the first divergence — a cheap
+// pre-flight for long measurement campaigns (`make diff-fuzz` is the
+// full matrix).
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
+	"nurapid/internal/refmodel/difftest"
 	"nurapid/internal/sim"
 )
 
@@ -46,8 +54,16 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 		trace      = flag.String("trace", "", "directory for per-run JSONL event traces (created if missing)")
 		httpAddr   = flag.String("http", "", "serve expvar and pprof diagnostics on this address (e.g. localhost:6060)")
+		selfcheck  = flag.Bool("selfcheck", false, "differentially check nurapid against its executable spec first")
 	)
 	flag.Parse()
+
+	if *selfcheck {
+		if err := runSelfcheck(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	opts := []sim.Option{
 		sim.WithInstructions(*n),
@@ -145,4 +161,45 @@ func wallClock() func() time.Duration {
 		//nurapidlint:ignore determinism progress wall time never reaches rendered output
 		return time.Since(start)
 	}
+}
+
+// runSelfcheck differentially drives every policy-matrix cell for a
+// short burst against the executable spec. On a divergence it shrinks
+// the reproducer, dumps it as JSONL next to the working directory, and
+// returns an error so no tables are rendered from a suspect model.
+func runSelfcheck(w io.Writer) error {
+	const accesses = 2000
+	cells := difftest.Matrix()
+	workloads := difftest.Workloads()
+	fmt.Fprintf(w, "selfcheck: %d cells x %d workloads x %d accesses\n",
+		len(cells), len(workloads), accesses)
+	for _, cell := range cells {
+		for _, wl := range workloads {
+			seq := wl.Gen(cell.Cfg, 11, accesses)
+			d := difftest.Diff(cell.Cfg, seq, difftest.Options{})
+			if d == nil {
+				continue
+			}
+			shrunk := difftest.Shrink(cell.Cfg, seq, difftest.Options{})
+			path := fmt.Sprintf("divergence-%s-%s.jsonl", cell.Name, wl.Name)
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("selfcheck: %s/%s diverged (%s) and artifact dump failed: %w",
+					cell.Name, wl.Name, d, err)
+			}
+			werr := difftest.WriteArtifact(f, cell.Name, wl.Name, cell.Cfg,
+				difftest.Options{}, difftest.Diff(cell.Cfg, shrunk, difftest.Options{}), shrunk)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("selfcheck: %s/%s diverged (%s) and artifact dump failed: %w",
+					cell.Name, wl.Name, d, werr)
+			}
+			return fmt.Errorf("selfcheck: %s/%s diverged: %s (shrunk reproducer: %s, %d accesses)",
+				cell.Name, wl.Name, d, path, len(shrunk))
+		}
+	}
+	fmt.Fprintln(w, "selfcheck: fast implementation and executable spec agree")
+	return nil
 }

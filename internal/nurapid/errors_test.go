@@ -24,6 +24,10 @@ func TestNewErrorMessages(t *testing.T) {
 		{"capacity-not-whole-mb", func(c *Config) { c.CapacityBytes = 512 << 10 }, "whole-MB"},
 		{"bad-geometry", func(c *Config) { c.Assoc = 0 }, "geometry"},
 		{"restriction-not-divisor", func(c *Config) { c.RestrictFrames = 1000 }, "restriction"},
+		{"sa-with-restriction", func(c *Config) {
+			c.Placement = SetAssociative
+			c.RestrictFrames = 256
+		}, "incompatible with set-associative"},
 		{"sa-assoc-not-divisible", func(c *Config) {
 			c.Placement = SetAssociative
 			c.NumDGroups = 8

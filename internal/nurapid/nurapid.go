@@ -222,6 +222,14 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 			nParts, partSize = 1, framesPerGroup
 		}
 	case SetAssociative:
+		if cfg.RestrictFrames > 0 {
+			// Set-associative placement already pins each block to the
+			// assoc/nGroups frames of its set; a frame restriction on top
+			// of that has no meaning, and silently ignoring it would let
+			// sweeps believe they measured a configuration that never ran.
+			return nil, fmt.Errorf("nurapid: RestrictFrames %d is incompatible with set-associative placement (frames are already restricted to the set)",
+				cfg.RestrictFrames)
+		}
 		if cfg.Assoc%cfg.NumDGroups != 0 {
 			return nil, fmt.Errorf("nurapid: set-associative placement needs assoc %d divisible by %d d-groups",
 				cfg.Assoc, cfg.NumDGroups)
@@ -539,6 +547,21 @@ func (c *Cache) GroupLatencies() []int64 {
 	out := make([]int64, len(c.groups))
 	for i, g := range c.groups {
 		out[i] = g.latency
+	}
+	return out
+}
+
+// GroupOccupancy returns the number of occupied frames per d-group (no
+// side effects) — compared against the reference model's occupancy by the
+// differential harness.
+func (c *Cache) GroupOccupancy() []int {
+	out := make([]int, len(c.groups))
+	for i, g := range c.groups {
+		free := 0
+		for p := 0; p < g.nParts; p++ {
+			free += int(g.freeCount[p])
+		}
+		out[i] = g.numFrames() - free
 	}
 	return out
 }

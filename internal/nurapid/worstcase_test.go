@@ -1,0 +1,197 @@
+package nurapid
+
+import (
+	"testing"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
+)
+
+// chainRecorder keeps only the movement-relevant events of the most
+// recent access window.
+type chainRecorder struct {
+	windows [][]obs.Event
+}
+
+func (r *chainRecorder) Emit(e obs.Event) {
+	if e.Kind == obs.KindAccess {
+		r.windows = append(r.windows, nil)
+		return
+	}
+	if len(r.windows) > 0 {
+		r.windows[len(r.windows)-1] = append(r.windows[len(r.windows)-1], e)
+	}
+}
+
+// TestDemotionChainWorstCase constructs the paper's Sec. 2.2 worst case
+// deterministically and pins it: a miss whose eviction frees a frame in
+// the slowest d-group, so the fill's demotion ripple runs through every
+// faster d-group — exactly NumDGroups-1 links — and terminates in the
+// evicted block's freed frame.
+func TestDemotionChainWorstCase(t *testing.T) {
+	cfg := Config{
+		CapacityBytes: 4 << 20,
+		BlockBytes:    8192,
+		Assoc:         8,
+		NumDGroups:    4,
+		// DemotionOnly + LRU distance: no promotions, no RNG — the block
+		// ages outward one d-group at a time, fully deterministically.
+		Promotion:      DemotionOnly,
+		Distance:       LRUDistance,
+		Placement:      DistanceAssociative,
+		RestrictFrames: 16,
+		Seed:           1,
+		Audit:          true,
+	}
+	c := MustNew(cfg, cacti.Default(), memsys.NewMemory(cfg.BlockBytes))
+	rec := &chainRecorder{}
+	c.SetProbe(rec)
+
+	// Partition 0 holds the frames of sets congruent 0 mod 8; its total
+	// capacity is 4 d-groups x 16 frames = 64. Touch 64 distinct blocks
+	// across 8 such sets (8 ways each): the partition fills completely and
+	// no set overflows, so there are no evictions yet, and the first
+	// block accessed — b0 in set 0 — has been demoted all the way out.
+	nParts := 8 // framesPerGroup 128 / RestrictFrames 16
+	addrOf := func(set, tag int) uint64 {
+		return uint64(tag*c.geo.NumSets()+set) * uint64(cfg.BlockBytes)
+	}
+	b0 := addrOf(0, 0)
+	now := int64(0)
+	for i := 0; i < 64; i++ {
+		r := c.Access(now, addrOf((i%8)*nParts, i/8), false)
+		now = r.DoneAt + 1
+	}
+	if got := c.Counters().Get("evictions"); got != 0 {
+		t.Fatalf("setup overflowed a set: %d evictions before the probe miss", got)
+	}
+	if got := c.GroupOf(b0); got != cfg.NumDGroups-1 {
+		t.Fatalf("aging setup wrong: b0 in d-group %d, want %d", got, cfg.NumDGroups-1)
+	}
+	demotionsBefore := c.Counters().Get("demotions")
+
+	// The 9th tag of set 0 overflows the set: set-LRU eviction removes b0,
+	// freeing the partition's only frame — in the slowest d-group.
+	r := c.Access(now, addrOf(0, 8), false)
+	if r.Hit {
+		t.Fatal("probe access unexpectedly hit")
+	}
+	if c.Contains(b0) {
+		t.Fatal("set-LRU eviction did not remove b0")
+	}
+
+	wantLinks := int64(cfg.NumDGroups - 1)
+	if got := c.Counters().Get("demotions") - demotionsBefore; got != wantLinks {
+		t.Fatalf("worst-case miss produced %d demotion links, want %d", got, wantLinks)
+	}
+	w := rec.windows[len(rec.windows)-1]
+	var evict, place *obs.Event
+	links := 0
+	for i := range w {
+		switch w[i].Kind {
+		case obs.KindEvict:
+			evict = &w[i]
+		case obs.KindDemote:
+			links++
+			if int(w[i].From) != links-1 || int(w[i].Group) != links {
+				t.Fatalf("link %d demotes %d->%d, want %d->%d",
+					links, w[i].From, w[i].Group, links-1, links)
+			}
+			if int(w[i].Depth) != links {
+				t.Fatalf("link %d carries depth %d", links, w[i].Depth)
+			}
+		case obs.KindPlace:
+			place = &w[i]
+		}
+	}
+	if evict == nil || int(evict.Group) != cfg.NumDGroups-1 {
+		t.Fatalf("eviction did not free a slowest-group frame: %+v", evict)
+	}
+	if int64(links) != wantLinks {
+		t.Fatalf("observed %d demote links, want %d", links, wantLinks)
+	}
+	if place == nil || int(place.Group) != cfg.NumDGroups-1 || int(place.Depth) != int(wantLinks) {
+		t.Fatalf("chain did not terminate in the freed slowest-group frame: %+v", place)
+	}
+}
+
+// demoteOneBlock builds a 2-d-group cache and ages one block into
+// d-group 1, returning the cache, the block's address, and its frame
+// location. Deterministic: LRU distance, no RNG draws.
+func demoteOneBlock(t *testing.T, promotion Promotion, promoteHits int) (*Cache, uint64, *frameMeta) {
+	t.Helper()
+	cfg := Config{
+		CapacityBytes:  2 << 20,
+		BlockBytes:     8192,
+		Assoc:          8,
+		NumDGroups:     2,
+		Promotion:      promotion,
+		Distance:       LRUDistance,
+		Placement:      DistanceAssociative,
+		RestrictFrames: 16,
+		PromoteHits:    promoteHits,
+		Seed:           1,
+		Audit:          true,
+	}
+	c := MustNew(cfg, cacti.Default(), memsys.NewMemory(cfg.BlockBytes))
+	nParts := 8 // framesPerGroup 128 / RestrictFrames 16
+	addrOf := func(set, tag int) uint64 {
+		return uint64(tag*c.geo.NumSets()+set) * uint64(cfg.BlockBytes)
+	}
+	b0 := addrOf(0, 0)
+	// 16 misses fill d-group 0's partition 0; the 17th demotes the
+	// distance-LRU block — b0 — into d-group 1.
+	now := int64(0)
+	for i := 0; i < 17; i++ {
+		r := c.Access(now, addrOf((i%4)*nParts, i/4), false)
+		now = r.DoneAt + 1
+	}
+	if got := c.GroupOf(b0); got != 1 {
+		t.Fatalf("aging setup wrong: b0 in d-group %d, want 1", got)
+	}
+	way, hit := c.tags.Lookup(b0)
+	if !hit {
+		t.Fatal("b0 not resident after aging")
+	}
+	g, f := c.decodeFrame(c.tags.Line(c.geo.SetIndex(b0), way).Aux)
+	return c, b0, &c.groups[g].frames[f]
+}
+
+// TestHitCounterSaturates pins the 8-bit promotion hit counter's
+// saturation: at 255 further hits neither advance nor wrap it. A wrap
+// would silently restart promotion screening — with a high trigger the
+// block would never promote.
+func TestHitCounterSaturates(t *testing.T) {
+	c, b0, meta := demoteOneBlock(t, DemotionOnly, 0)
+	meta.hits = 254
+	now := int64(1 << 20)
+	for i := 0; i < 3; i++ {
+		r := c.Access(now, b0, false)
+		if !r.Hit {
+			t.Fatal("b0 hit expected")
+		}
+		now = r.DoneAt + 1
+		if want := uint8(255); meta.hits != want {
+			t.Fatalf("after hit %d: counter %d, want saturation at %d", i+1, meta.hits, want)
+		}
+	}
+}
+
+// TestPromotionFiresAtSaturatedCounter is the companion: with the
+// maximum trigger (PromoteHits=200) a saturated counter still satisfies
+// hits >= trigger, so screening promotes the block instead of wedging.
+func TestPromotionFiresAtSaturatedCounter(t *testing.T) {
+	c, b0, meta := demoteOneBlock(t, NextFastest, 200)
+	meta.hits = 254
+	r := c.Access(int64(1<<20), b0, false)
+	if !r.Hit || r.Group != 1 {
+		t.Fatalf("expected a d-group 1 hit, got %+v", r)
+	}
+	if got := c.Counters().Get("promotions"); got != 1 {
+		t.Fatalf("promotions = %d, want 1: saturated counter must still cross the trigger", got)
+	}
+	if got := c.GroupOf(b0); got != 0 {
+		t.Fatalf("b0 in d-group %d after promotion, want 0", got)
+	}
+}

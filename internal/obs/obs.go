@@ -11,6 +11,17 @@
 // per-d-group residence (Figures 4, 5, 7). Run-level IPC says which
 // policy wins; this layer shows why.
 //
+// Ordering contract: every organization emits the events of one access
+// in the same canonical order — KindAccess first, then either KindHit
+// (with any KindPromote/KindDemote/KindPlace movement events after it)
+// or KindMiss, followed by KindEvict when a valid block was displaced
+// and the KindDemote links and final KindPlace of the fill. In
+// particular Miss always precedes Evict, and Evict precedes Place
+// within one access. Multi-level organizations (uca.Hierarchy) apply
+// the order per level, with KindMiss reserved for the outermost miss to
+// memory. TestEventOrderCanonical (internal/sim) pins the order for
+// every organization.
+//
 // Overhead contract: probes are strictly observational (they never alter
 // simulated state or timing), events are fixed-size structs passed by
 // value (no allocation on the emitting path), and every emission site

@@ -97,7 +97,9 @@ func (u *Uniform) Name() string { return u.name }
 // reports group 0.
 func (u *Uniform) SetProbe(p obs.Probe) { u.probe = p }
 
-// Access implements memsys.LowerLevel.
+// Access implements memsys.LowerLevel. Probe events follow the
+// canonical per-access order (obs package doc): Access, then Hit, or
+// Miss followed by Evict (when a valid victim was displaced) and Place.
 func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := u.port.Acquire(now, u.occupancy)
 	u.ctrs.Inc("accesses")
@@ -105,6 +107,19 @@ func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult
 		u.probe.Emit(obs.Access(now, addr, write))
 	}
 	out := u.c.Access(addr, write)
+	if out.Hit {
+		u.dist.AddHit(0)
+		u.energy += u.accessNJ
+		if u.probe != nil {
+			u.probe.Emit(obs.Hit(now, 0, start+u.hitLat-now))
+		}
+		return memsys.AccessResult{Hit: true, DoneAt: start + u.hitLat, Group: 0}
+	}
+	u.dist.AddMiss()
+	u.ctrs.Inc("misses")
+	if u.probe != nil {
+		u.probe.Emit(obs.Miss(now, addr))
+	}
 	if out.Evicted != nil {
 		if u.probe != nil {
 			u.probe.Emit(obs.Evict(now, 0, out.Evicted.Dirty))
@@ -115,19 +130,9 @@ func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult
 			u.mem.Write()
 		}
 	}
-	if out.Hit {
-		u.dist.AddHit(0)
-		u.energy += u.accessNJ
-		if u.probe != nil {
-			u.probe.Emit(obs.Hit(now, 0, start+u.hitLat-now))
-		}
-		return memsys.AccessResult{Hit: true, DoneAt: start + u.hitLat, Group: 0}
-	}
-	u.dist.AddMiss()
 	u.energy += tagOnlyNJ  // miss discovered in the tag array
 	u.energy += u.accessNJ // fill write when data returns
 	if u.probe != nil {
-		u.probe.Emit(obs.Miss(now, addr))
 		u.probe.Emit(obs.Place(now, 0, 0))
 	}
 	done := u.mem.Read(start + u.tagLat)
@@ -189,7 +194,11 @@ func (h *Hierarchy) Name() string { return "base-l2l3" }
 // its access distribution.
 func (h *Hierarchy) SetProbe(p obs.Probe) { h.probe = p }
 
-// Access implements memsys.LowerLevel.
+// Access implements memsys.LowerLevel. Probe events follow the
+// canonical per-access order (obs package doc) at each level: the L2
+// reports Evict then Place around its allocation (there is no per-level
+// miss event; KindMiss means a miss to memory), and the L3 reports Miss,
+// Evict, Place on the outermost miss path.
 func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := h.l2Port.Acquire(now, 4)
 	h.ctrs.Inc("accesses")
@@ -197,14 +206,6 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 		h.probe.Emit(obs.Access(now, addr, write))
 	}
 	o2 := h.l2.Access(addr, write)
-	if o2.Evicted != nil {
-		if h.probe != nil {
-			h.probe.Emit(obs.Evict(now, 0, o2.Evicted.Dirty))
-		}
-		if o2.Evicted.Dirty {
-			h.writebackToL3(o2.Evicted.Addr)
-		}
-	}
 	if o2.Hit {
 		h.dist.AddHit(0)
 		h.energy += h.l2NJ
@@ -212,6 +213,15 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 			h.probe.Emit(obs.Hit(now, 0, start+h.l2Lat-now))
 		}
 		return memsys.AccessResult{Hit: true, DoneAt: start + h.l2Lat, Group: 0}
+	}
+	h.ctrs.Inc("l2_misses")
+	if o2.Evicted != nil {
+		if h.probe != nil {
+			h.probe.Emit(obs.Evict(now, 0, o2.Evicted.Dirty))
+		}
+		if o2.Evicted.Dirty {
+			h.writebackToL3(o2.Evicted.Addr)
+		}
 	}
 	h.energy += tagOnlyNJ // L2 miss discovered in its tags
 	h.energy += h.l2NJ    // eventual L2 fill write
@@ -221,16 +231,6 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 
 	start3 := h.l3Port.Acquire(start+h.l2Tag, 8)
 	o3 := h.l3.Access(addr, write)
-	if o3.Evicted != nil {
-		if h.probe != nil {
-			h.probe.Emit(obs.Evict(now, 1, o3.Evicted.Dirty))
-		}
-		if o3.Evicted.Dirty {
-			h.ctrs.Inc("l3_writebacks")
-			h.energy += h.l3NJ
-			h.mem.Write()
-		}
-	}
 	if o3.Hit {
 		h.dist.AddHit(1)
 		h.energy += h.l3NJ
@@ -242,10 +242,22 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 	}
 	h.dist.AddMiss()
 	h.ctrs.Inc("misses")
+	if h.probe != nil {
+		h.probe.Emit(obs.Miss(now, addr))
+	}
+	if o3.Evicted != nil {
+		if h.probe != nil {
+			h.probe.Emit(obs.Evict(now, 1, o3.Evicted.Dirty))
+		}
+		if o3.Evicted.Dirty {
+			h.ctrs.Inc("l3_writebacks")
+			h.energy += h.l3NJ
+			h.mem.Write()
+		}
+	}
 	h.energy += tagOnlyNJ // L3 miss discovered in its tags
 	h.energy += h.l3NJ    // eventual L3 fill write
 	if h.probe != nil {
-		h.probe.Emit(obs.Miss(now, addr))
 		h.probe.Emit(obs.Place(now, 1, 0)) // L3 allocates on miss
 	}
 	done := h.mem.Read(start3 + h.l3Tag)
@@ -255,6 +267,13 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 // writebackToL3 retires a dirty L2 victim: it lands in the L3 when the
 // block is still resident there (the common, mostly-inclusive case) and
 // otherwise goes to memory.
+//
+// A writeback that hits marks the resident line dirty but deliberately
+// does NOT refresh its recency: the paper's base hierarchy treats
+// writebacks as non-uses (the block was evicted from the L2 precisely
+// because the processor stopped using it), so only demand accesses
+// influence L3 replacement. TestWritebackToL3DoesNotRefreshRecency pins
+// this choice.
 func (h *Hierarchy) writebackToL3(addr uint64) {
 	h.ctrs.Inc("l2_writebacks")
 	h.energy += h.l2NJ // victim read
