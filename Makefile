@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-runner lint fmt bench bench-runner obs-bench audit diff-fuzz diff-fuzz-long ci
+.PHONY: build test race race-runner lint fmt bench bench-runner bench-core obs-bench audit diff-fuzz diff-fuzz-long ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,14 @@ bench:
 bench-runner:
 	BENCH_RUNNER_JSON=$(CURDIR)/BENCH_runner.json $(GO) test -count=1 -run '^TestBenchRunnerSmoke$$' -v .
 
+# bench-core: run the core access-path benchmark suite, measure the
+# headline steady-state NuRAPID ns/access, verify the path is still
+# allocation-free, and write BENCH_core.json. Fails when ns/access
+# regresses >10% against the committed BENCH_core.json baseline.
+bench-core:
+	$(GO) test -run='^$$' -bench='^BenchmarkCore' -benchtime=1x .
+	BENCH_CORE_JSON=$(CURDIR)/BENCH_core.json $(GO) test -count=1 -run '^TestBenchCoreSmoke$$' -v .
+
 # obs-bench: measure the disabled-probe overhead of the observability
 # layer on the Fig6 workload (probe-free vs nil-probe factory vs full
 # Collector+Sampler probes), assert the rendered output stays
@@ -70,4 +78,4 @@ diff-fuzz:
 diff-fuzz-long:
 	DIFF_FUZZ_LONG=1 $(GO) test -count=1 -timeout 60m -v -run TestDifferentialMatrix ./internal/refmodel/difftest/
 
-ci: build test race race-runner lint bench bench-runner obs-bench diff-fuzz
+ci: build test race race-runner lint bench bench-runner bench-core obs-bench diff-fuzz

@@ -40,8 +40,12 @@ import (
 	"runtime"
 	"time"
 
+	"nurapid/internal/cacti"
+	"nurapid/internal/nuca"
+	"nurapid/internal/nurapid"
 	"nurapid/internal/refmodel/difftest"
 	"nurapid/internal/sim"
+	"nurapid/internal/workload"
 )
 
 func main() {
@@ -55,8 +59,17 @@ func main() {
 		trace      = flag.String("trace", "", "directory for per-run JSONL event traces (created if missing)")
 		httpAddr   = flag.String("http", "", "serve expvar and pprof diagnostics on this address (e.g. localhost:6060)")
 		selfcheck  = flag.Bool("selfcheck", false, "differentially check nurapid against its executable spec first")
+		replay     = flag.String("replay", "", "replay an application's L2 trace through the batched path instead of running experiments")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(os.Stdout, *replay, *seed, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *selfcheck {
 		if err := runSelfcheck(os.Stderr); err != nil {
@@ -201,5 +214,37 @@ func runSelfcheck(w io.Writer) error {
 		}
 	}
 	fmt.Fprintln(w, "selfcheck: fast implementation and executable spec agree")
+	return nil
+}
+
+// runReplay extracts appName's L2-visible request stream and replays it
+// through the standard organizations on the batched AccessMany path,
+// printing each organization's aggregate result and fingerprint. The
+// output is a pure function of (app, seed, n).
+func runReplay(w io.Writer, appName string, seed uint64, n int64) error {
+	app, ok := workload.ByName(appName)
+	if !ok {
+		return fmt.Errorf("replay: unknown application %q", appName)
+	}
+	reqs := sim.ExtractTrace(app, seed, int(n))
+	if len(reqs) == 0 {
+		return fmt.Errorf("replay: %s produced no memory requests", appName)
+	}
+	model := cacti.Default()
+	orgs := []sim.Organization{
+		sim.Base(),
+		sim.Ideal(),
+		sim.DNUCA(nuca.DefaultConfig()),
+		sim.NuRAPID(nurapid.DefaultConfig()),
+	}
+	for _, org := range orgs {
+		res := sim.Replay(model, org, reqs)
+		if err := res.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %016x\n", "fingerprint", res.Fingerprint()); err != nil {
+			return err
+		}
+	}
 	return nil
 }

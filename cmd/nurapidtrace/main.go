@@ -61,16 +61,22 @@ func main() {
 }
 
 // report decodes one trace and renders its aggregate tables.
+//
+// Degenerate inputs are handled gracefully rather than fatally: an
+// empty trace and a mid-record truncation both still render the report
+// for whatever was decoded (headers-only tables when nothing was), and
+// then return a clear error so the process exits non-zero — a
+// truncated measurement campaign must not look like a successful one.
 func report(w io.Writer, name string, r io.Reader, epoch int64, csv bool) error {
 	coll := obs.NewCollector()
 	samp := obs.NewSampler("occupancy", epoch)
-	if err := obs.DecodeTrace(r, func(e obs.Event) error {
+	events := 0
+	decErr := obs.DecodeTrace(r, func(e obs.Event) error {
+		events++
 		coll.Emit(e)
 		samp.Emit(e)
 		return nil
-	}); err != nil {
-		return err
-	}
+	})
 	tables := []*stats.Table{
 		countersTable(name, coll.Counters()),
 		histTable("demotion-chain depth (links per placement)", "depth", coll.ChainDepth()),
@@ -93,6 +99,12 @@ func report(w io.Writer, name string, r io.Reader, epoch int64, csv bool) error 
 		if err != nil {
 			return err
 		}
+	}
+	if decErr != nil {
+		return fmt.Errorf("truncated or corrupt trace (%d events decoded): %w", events, decErr)
+	}
+	if events == 0 {
+		return fmt.Errorf("empty trace: no events decoded")
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nurapid/internal/obs"
+)
+
+// TestReportEmptyTrace pins the degenerate-input contract: an empty
+// JSONL trace still renders every table (headers only) and returns an
+// error naming the problem, so the CLI exits non-zero instead of
+// passing off a headers-only report as a successful analysis.
+func TestReportEmptyTrace(t *testing.T) {
+	for _, csv := range []bool{false, true} {
+		var out strings.Builder
+		err := report(&out, "empty.jsonl", strings.NewReader(""), obs.DefaultEpochAccesses, csv)
+		if err == nil {
+			t.Fatalf("csv=%v: empty trace must return an error", csv)
+		}
+		if !strings.Contains(err.Error(), "empty trace") {
+			t.Fatalf("csv=%v: error %q does not name the empty trace", csv, err)
+		}
+		want := "event counters" // text table title
+		if csv {
+			want = "counter,count" // CSV header row
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("csv=%v: headers-only report not rendered:\n%s", csv, out.String())
+		}
+	}
+}
+
+// TestReportTruncatedTrace feeds a trace cut off mid-record: the events
+// before the cut must still be aggregated and rendered, and the decode
+// failure must surface as a clear non-nil error (no panic).
+func TestReportTruncatedTrace(t *testing.T) {
+	trace := `{"k":"access","t":0,"addr":4096}
+{"k":"hit","t":0,"g":1,"lat":21}
+{"k":"access","t":30,"ad`
+	var out strings.Builder
+	err := report(&out, "trunc.jsonl", strings.NewReader(trace), obs.DefaultEpochAccesses, false)
+	if err == nil {
+		t.Fatal("truncated trace must return an error")
+	}
+	if !strings.Contains(err.Error(), "truncated or corrupt") {
+		t.Fatalf("error %q does not flag the truncation", err)
+	}
+	if !strings.Contains(err.Error(), "2 events decoded") {
+		t.Fatalf("error %q does not report the decoded prefix length", err)
+	}
+	got := out.String()
+	// The two whole records before the cut must be in the report.
+	if !strings.Contains(got, "access") || !strings.Contains(got, "hit") {
+		t.Fatalf("prefix events missing from the report:\n%s", got)
+	}
+}
+
+// TestReportWholeTrace guards the happy path around the new error
+// returns: a complete trace reports no error.
+func TestReportWholeTrace(t *testing.T) {
+	trace := `{"k":"access","t":0,"addr":4096}
+{"k":"miss","t":0,"addr":4096}
+{"k":"place","t":0,"g":3}
+`
+	var out strings.Builder
+	if err := report(&out, "ok.jsonl", strings.NewReader(trace), obs.DefaultEpochAccesses, false); err != nil {
+		t.Fatalf("complete trace reported error: %v", err)
+	}
+	if !strings.Contains(out.String(), "place") {
+		t.Fatalf("events missing from report:\n%s", out.String())
+	}
+}

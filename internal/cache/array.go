@@ -17,10 +17,17 @@ type Line struct {
 
 // Array is a set-associative tag array with pluggable replacement. It
 // holds no data; organizations pair it with their own data-array model.
+//
+// The address mapping is precomputed into an Index and true-LRU
+// replacement (the common case on every hot path) is devirtualized, so
+// a steady-state Lookup/Touch/Fill cycle performs no divisions and no
+// interface dispatch.
 type Array struct {
 	geo   Geometry
+	idx   Index
 	lines []Line
 	repl  replacer
+	lru   *lruReplacer // non-nil iff policy == LRU: bypasses the interface
 }
 
 // NewArray builds a tag array. rng is consulted only by Random
@@ -29,11 +36,14 @@ func NewArray(geo Geometry, policy ReplPolicy, rng *mathx.RNG) (*Array, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	return &Array{
+	a := &Array{
 		geo:   geo,
+		idx:   geo.Index(),
 		lines: make([]Line, geo.NumBlocks()),
 		repl:  newReplacer(policy, geo.NumSets(), geo.Assoc, rng),
-	}, nil
+	}
+	a.lru, _ = a.repl.(*lruReplacer)
+	return a, nil
 }
 
 // MustNewArray is NewArray that panics on configuration errors; for
@@ -49,13 +59,30 @@ func MustNewArray(geo Geometry, policy ReplPolicy, rng *mathx.RNG) *Array {
 // Geometry returns the array's address mapping.
 func (a *Array) Geometry() Geometry { return a.geo }
 
+// Index returns the precomputed address mapping, for owners that share
+// the array's set/tag math on their own hot paths.
+func (a *Array) Index() Index { return a.idx }
+
 // Lookup finds addr in its set. On a hit it returns the way and true; it
 // does not update recency (callers decide whether a probe counts as use).
 func (a *Array) Lookup(addr Addr) (way int, hit bool) {
-	set := a.geo.SetIndex(addr)
-	tag := a.geo.Tag(addr)
-	base := set * a.geo.Assoc
-	for w := 0; w < a.geo.Assoc; w++ {
+	block := addr >> a.idx.blockShift
+	set := int(block & a.idx.setMask)
+	tag := block >> a.idx.setShift
+	base := set * a.idx.assoc
+	for w := 0; w < a.idx.assoc; w++ {
+		if l := &a.lines[base+w]; l.Valid && l.Tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// FindTag locates tag within set — Lookup with the address math hoisted,
+// for owners that already computed set and tag from a shared Index.
+func (a *Array) FindTag(set int, tag uint64) (way int, hit bool) {
+	base := set * a.idx.assoc
+	for w := 0; w < a.idx.assoc; w++ {
 		if l := &a.lines[base+w]; l.Valid && l.Tag == tag {
 			return w, true
 		}
@@ -64,35 +91,45 @@ func (a *Array) Lookup(addr Addr) (way int, hit bool) {
 }
 
 // Touch records a use of (set, way) for replacement.
-func (a *Array) Touch(set, way int) { a.repl.Touch(set, way) }
+func (a *Array) Touch(set, way int) {
+	if a.lru != nil {
+		a.lru.Touch(set, way)
+		return
+	}
+	a.repl.Touch(set, way)
+}
 
 // VictimWay picks the way to evict from set, preferring invalid ways.
 func (a *Array) VictimWay(set int) int {
-	base := set * a.geo.Assoc
-	for w := 0; w < a.geo.Assoc; w++ {
+	base := set * a.idx.assoc
+	for w := 0; w < a.idx.assoc; w++ {
 		if !a.lines[base+w].Valid {
 			return w
 		}
+	}
+	if a.lru != nil {
+		return a.lru.Victim(set)
 	}
 	return a.repl.Victim(set)
 }
 
 // Line returns the entry at (set, way) for inspection or mutation.
 func (a *Array) Line(set, way int) *Line {
-	if set < 0 || set >= a.geo.NumSets() || way < 0 || way >= a.geo.Assoc {
+	if set < 0 || set >= a.idx.sets || way < 0 || way >= a.idx.assoc {
 		panic(fmt.Sprintf("cache: line (%d,%d) out of range", set, way))
 	}
-	return &a.lines[set*a.geo.Assoc+way]
+	return &a.lines[set*a.idx.assoc+way]
 }
 
 // Fill installs addr into (set, way), marking it valid and clean, and
 // touches it. It returns the line for further decoration (Aux, Dirty).
 func (a *Array) Fill(addr Addr, way int) *Line {
-	set := a.geo.SetIndex(addr)
+	block := addr >> a.idx.blockShift
+	set := int(block & a.idx.setMask)
 	l := a.Line(set, way)
 	l.Valid = true
 	l.Dirty = false
-	l.Tag = a.geo.Tag(addr)
+	l.Tag = block >> a.idx.setShift
 	l.Aux = 0
 	a.Touch(set, way)
 	return l
@@ -121,11 +158,15 @@ type Eviction struct {
 	Dirty bool
 }
 
-// Outcome summarizes one access to a Cache.
+// Outcome summarizes one access to a Cache. It is a plain value — the
+// steady-state access path allocates nothing — so the displaced block
+// is reported as an Evicted flag plus an inline Victim rather than a
+// heap-allocated pointer.
 type Outcome struct {
 	Hit     bool
-	Way     int       // way that served or received the block
-	Evicted *Eviction // non-nil when a valid block was displaced
+	Way     int      // way that served or received the block
+	Evicted bool     // a valid block was displaced
+	Victim  Eviction // the displaced block; meaningful only when Evicted
 }
 
 // Cache is a complete single-level cache: tag array plus fill/writeback
@@ -167,8 +208,8 @@ func (c *Cache) Array() *Array { return c.arr }
 // writeback of dirty victims.
 func (c *Cache) Access(addr Addr, write bool) Outcome {
 	c.Accesses++
-	geo := c.arr.Geometry()
-	set := geo.SetIndex(addr)
+	idx := &c.arr.idx
+	set := idx.SetIndex(addr)
 	if way, hit := c.arr.Lookup(addr); hit {
 		c.Hits++
 		c.arr.Touch(set, way)
@@ -178,16 +219,25 @@ func (c *Cache) Access(addr Addr, write bool) Outcome {
 		return Outcome{Hit: true, Way: way}
 	}
 	way := c.arr.VictimWay(set)
-	var ev *Eviction
+	out := Outcome{Way: way}
 	if l := c.arr.Line(set, way); l.Valid {
-		ev = &Eviction{Addr: geo.AddrOf(set, l.Tag), Dirty: l.Dirty}
+		out.Evicted = true
+		out.Victim = Eviction{Addr: c.geoAddrOf(set, l.Tag), Dirty: l.Dirty}
 		c.Evictions++
 	}
 	l := c.arr.Fill(addr, way)
 	if write {
 		l.Dirty = true
 	}
-	return Outcome{Hit: false, Way: way, Evicted: ev}
+	return out
+}
+
+// geoAddrOf reconstructs a victim's base address from the precomputed
+// index (shift/or instead of the Geometry method's multiplications by
+// recomputed set counts).
+func (c *Cache) geoAddrOf(set int, tag uint64) Addr {
+	ix := &c.arr.idx
+	return ((tag << ix.setShift) | uint64(set)) << ix.blockShift
 }
 
 // Contains reports whether addr is currently resident (no side effects).

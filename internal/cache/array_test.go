@@ -130,14 +130,14 @@ func TestCacheEvictionAndWriteback(t *testing.T) {
 	if o.Hit {
 		t.Fatal("conflict access must miss")
 	}
-	if o.Evicted == nil {
+	if !o.Evicted {
 		t.Fatal("eviction expected")
 	}
-	if !o.Evicted.Dirty {
+	if !o.Victim.Dirty {
 		t.Fatal("victim was written; eviction must be dirty")
 	}
-	if o.Evicted.Addr != 0 {
-		t.Fatalf("victim address %#x, want 0", o.Evicted.Addr)
+	if o.Victim.Addr != 0 {
+		t.Fatalf("victim address %#x, want 0", o.Victim.Addr)
 	}
 	if c.Evictions != 1 {
 		t.Fatalf("evictions = %d", c.Evictions)
@@ -159,8 +159,8 @@ func TestCacheWriteHitSetsDirty(t *testing.T) {
 			t.Fatal("stride math wrong")
 		}
 		o := c.Access(a, false)
-		if o.Evicted != nil && o.Evicted.Addr == 0x200 {
-			if !o.Evicted.Dirty {
+		if o.Evicted && o.Victim.Addr == 0x200 {
+			if !o.Victim.Dirty {
 				t.Fatal("written block must write back dirty")
 			}
 			return

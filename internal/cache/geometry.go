@@ -75,3 +75,47 @@ func (g Geometry) Tag(a Addr) uint64 {
 func (g Geometry) AddrOf(set int, tag uint64) Addr {
 	return (Addr(tag)*Addr(g.NumSets()) + Addr(set)) * Addr(g.BlockBytes)
 }
+
+// Index is the precomputed address mapping of a validated Geometry:
+// block size and set count are powers of two (Validate enforces both),
+// so the divisions in SetIndex/Tag reduce to shifts and masks. Hot
+// paths build one Index up front instead of re-deriving set counts on
+// every access; the methods are small enough to inline.
+type Index struct {
+	blockShift uint8
+	setShift   uint8
+	setMask    uint64
+	sets       int
+	assoc      int
+}
+
+// Index precomputes the geometry's address mapping. The geometry must
+// have been validated; Index panics on a non-power-of-two block size or
+// set count rather than silently mis-mapping addresses.
+func (g Geometry) Index() Index {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: Index on invalid geometry: %v", err))
+	}
+	return Index{
+		blockShift: uint8(mathx.Log2(int64(g.BlockBytes))),
+		setShift:   uint8(mathx.Log2(int64(g.NumSets()))),
+		setMask:    uint64(g.NumSets() - 1),
+		sets:       g.NumSets(),
+		assoc:      g.Assoc,
+	}
+}
+
+// NumSets returns the precomputed set count.
+func (ix Index) NumSets() int { return ix.sets }
+
+// Assoc returns the associativity.
+func (ix Index) Assoc() int { return ix.assoc }
+
+// BlockAddr returns the block-granular address.
+func (ix Index) BlockAddr(a Addr) Addr { return a >> ix.blockShift }
+
+// SetIndex returns the set that address a maps to.
+func (ix Index) SetIndex(a Addr) int { return int((a >> ix.blockShift) & ix.setMask) }
+
+// Tag returns the tag of address a.
+func (ix Index) Tag(a Addr) uint64 { return (a >> ix.blockShift) >> ix.setShift }

@@ -274,9 +274,9 @@ func (c *CPU) dispatch(in *workload.Instr) bool {
 		}
 		c.l1Energy += c.l1NJ
 		out := c.l1d.Access(in.Addr, write)
-		if out.Evicted != nil && out.Evicted.Dirty {
+		if out.Evicted && out.Victim.Dirty {
 			// L1 writeback into the lower level; does not block.
-			c.l2Request(out.Evicted.Addr, true)
+			c.l2Request(out.Victim.Addr, true)
 		}
 		switch {
 		case out.Hit:

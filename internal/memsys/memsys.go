@@ -42,6 +42,54 @@ type LowerLevel interface {
 	Counters() *stats.Counters
 }
 
+// Request is one element of a batched access sequence: the address and
+// write flag of a lower-level access plus the idle gap (think time, in
+// cycles) inserted after the previous request completes. The replay
+// clock is now_i = doneAt_{i-1} + Gap_i, the same convention the
+// differential harness uses, so a sequence replays identically however
+// it was produced.
+type Request struct {
+	Addr  uint64
+	Write bool
+	Gap   int64
+}
+
+// BatchAccessor is implemented by organizations that provide a
+// specialized batched replay loop. AccessMany must be observably
+// identical to issuing each request through Access with the replay
+// clock above — the differential harness compares the two paths.
+type BatchAccessor interface {
+	AccessMany(now int64, reqs []Request, out []AccessResult) int64
+}
+
+// AccessMany replays reqs through l2 back to back: request i issues at
+// the completion time of request i-1 plus its Gap. When out is non-nil
+// it must have len(reqs) and receives each per-request result. The
+// return value is the completion cycle of the final request (now when
+// reqs is empty). Organizations implementing BatchAccessor serve the
+// batch on their specialized loop; everything else falls back to the
+// generic per-access loop, so callers need not care which they hold.
+func AccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) int64 {
+	if ba, ok := l2.(BatchAccessor); ok {
+		return ba.AccessMany(now, reqs, out)
+	}
+	return GenericAccessMany(l2, now, reqs, out)
+}
+
+// GenericAccessMany is the fallback batched loop over Access. It is
+// exported so specialized implementations (and their tests) can compare
+// against the reference replay semantics.
+func GenericAccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) int64 {
+	for i := range reqs {
+		r := l2.Access(now, reqs[i].Addr, reqs[i].Write)
+		if out != nil {
+			out[i] = r
+		}
+		now = r.DoneAt + reqs[i].Gap
+	}
+	return now
+}
+
 // Memory models main memory with the paper's Table 1 parameters:
 // a fixed access latency plus a per-8-byte transfer charge.
 type Memory struct {

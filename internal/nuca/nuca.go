@@ -28,6 +28,7 @@ import (
 	"nurapid/internal/cache"
 	"nurapid/internal/cacti"
 	"nurapid/internal/floorplan"
+	"nurapid/internal/mathx"
 	"nurapid/internal/memsys"
 	"nurapid/internal/obs"
 	"nurapid/internal/stats"
@@ -109,24 +110,51 @@ type line struct {
 type Cache struct {
 	cfg       Config
 	geo       cache.Geometry
+	idx       cache.Index
 	numGroups int
-	lines     []line // sets x assoc; way w belongs to group w/waysPerGroup
+	assoc     int
+	wpg       int    // ways per latency group
+	wayGroup  []int8 // way -> latency group
+	lines     []line // sets x assoc; way w belongs to group wayGroup[w]
 	clock     uint64
 
-	banks     []memsys.Port
-	bankLat   []int64
-	bankNJ    []float64
-	groupBank [][]int // [group][set % banksPerGroup] -> bank id
+	banks   []memsys.Port
+	bankLat []int64
+	bankNJ  []float64
+	// bankTab flattens the [group][set % banksPerGroup] -> bank id map:
+	// entry group*bpg + (set % bpg). When bpg is a power of two the modulo
+	// reduces to a mask on the hot path.
+	bankTab []int32
+	bpg     int
+	bpgMask uint32
+	bpgPow2 bool
 
 	ssLat int64
 	ssNJ  float64
 	mask  uint64 // partial-tag mask
 
+	matchBuf []bool // scratch for partialMatches; reused every access
+
 	mem    *memsys.Memory
 	dist   *stats.Distribution
 	ctrs   stats.Counters
+	hot    nucaHot
 	energy float64
 	probe  obs.Probe
+}
+
+// nucaHot holds the per-access counters as plain fields; Counters()
+// materializes them into the map with the same presence semantics as the
+// former Inc calls (a name exists iff its count is non-zero).
+type nucaHot struct {
+	accesses         int64
+	misses           int64
+	evictions        int64
+	writebacks       int64
+	promotions       int64
+	bankAccesses     int64
+	ssAccesses       int64
+	falsePartialHits int64
 }
 
 // New builds a D-NUCA cache with bank latencies and energies from the
@@ -160,9 +188,18 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 		numGroups = cfg.Assoc
 	}
 	banksPerGroup := numBanks / numGroups
-	groupBank := make([][]int, numGroups)
-	for g := range groupBank {
-		groupBank[g] = order[g*banksPerGroup : (g+1)*banksPerGroup]
+	bankTab := make([]int32, numGroups*banksPerGroup)
+	for g := 0; g < numGroups; g++ {
+		chunk := order[g*banksPerGroup : (g+1)*banksPerGroup]
+		for i, b := range chunk {
+			bankTab[g*banksPerGroup+i] = int32(b)
+		}
+	}
+
+	wpg := cfg.Assoc / numGroups
+	wayGroup := make([]int8, cfg.Assoc)
+	for w := range wayGroup {
+		wayGroup[w] = int8(w / wpg)
 	}
 
 	labels := make([]string, numGroups)
@@ -177,15 +214,23 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 	return &Cache{
 		cfg:       cfg,
 		geo:       geo,
+		idx:       geo.Index(),
 		numGroups: numGroups,
+		assoc:     cfg.Assoc,
+		wpg:       wpg,
+		wayGroup:  wayGroup,
 		lines:     make([]line, geo.NumSets()*cfg.Assoc),
 		banks:     make([]memsys.Port, numBanks),
 		bankLat:   lat64,
 		bankNJ:    energies,
-		groupBank: groupBank,
+		bankTab:   bankTab,
+		bpg:       banksPerGroup,
+		bpgMask:   uint32(banksPerGroup - 1),
+		bpgPow2:   mathx.IsPow2(int64(banksPerGroup)),
 		ssLat:     int64(m.SmartSearchCyc),
 		ssNJ:      m.SmartSearchNJ,
 		mask:      (1 << uint(cfg.PartialTagBits)) - 1,
+		matchBuf:  make([]bool, numGroups),
 		mem:       mem,
 		dist:      stats.NewDistribution(labels...),
 	}, nil
@@ -213,23 +258,23 @@ func (c *Cache) Config() Config { return c.cfg }
 // demotion link absorbed by the frame the promoted block freed.
 func (c *Cache) SetProbe(p obs.Probe) { c.probe = p }
 
-func (c *Cache) waysPerGroup() int { return c.cfg.Assoc / c.numGroups }
+func (c *Cache) groupOfWay(way int) int { return int(c.wayGroup[way]) }
 
-func (c *Cache) groupOfWay(way int) int { return way / c.waysPerGroup() }
-
-func (c *Cache) line(set, way int) *line { return &c.lines[set*c.cfg.Assoc+way] }
+func (c *Cache) line(set, way int) *line { return &c.lines[set*c.assoc+way] }
 
 // bankOf returns the bank holding the ways of `group` for `set`.
 func (c *Cache) bankOf(group, set int) int {
-	chunk := c.groupBank[group]
-	return chunk[set%len(chunk)]
+	if c.bpgPow2 {
+		return int(c.bankTab[group*c.bpg+int(uint32(set)&c.bpgMask)])
+	}
+	return int(c.bankTab[group*c.bpg+set%c.bpg])
 }
 
 // probeBank performs one timed, energy-charged access to bank b starting
 // no earlier than t, returning when its response is available.
 func (c *Cache) probeBank(b int, t int64) int64 {
 	start := c.banks[b].Acquire(t, bankOccupancy)
-	c.ctrs.Inc("bank_accesses")
+	c.hot.bankAccesses++
 	c.energy += c.bankNJ[b]
 	return start + c.bankLat[b]
 }
@@ -238,7 +283,7 @@ func (c *Cache) probeBank(b int, t int64) int64 {
 // the bank is occupied for a full block transfer.
 func (c *Cache) chargeBank(b int, t int64) {
 	c.banks[b].Acquire(t, swapOccupancy)
-	c.ctrs.Inc("bank_accesses")
+	c.hot.bankAccesses++
 	c.energy += c.bankNJ[b]
 }
 
@@ -249,24 +294,35 @@ func (c *Cache) touch(set, way int) {
 
 // lookup finds addr in its set without side effects.
 func (c *Cache) lookup(addr uint64) (way int, ok bool) {
-	set := c.geo.SetIndex(addr)
-	tag := c.geo.Tag(addr)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if l := c.line(set, w); l.valid && l.tag == tag {
+	return c.findWay(c.idx.SetIndex(addr), c.idx.Tag(addr))
+}
+
+// findWay finds the way holding (set, tag) without side effects.
+func (c *Cache) findWay(set int, tag uint64) (way int, ok bool) {
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if l := &c.lines[base+w]; l.valid && l.tag == tag {
 			return w, true
 		}
 	}
 	return -1, false
 }
 
-// partialMatches returns, per group, whether any valid way in the set
-// partially matches addr's tag — the smart-search array's answer.
+// partialMatches fills the per-group scratch buffer with whether any
+// valid way in the set partially matches addr's tag — the smart-search
+// array's answer. The buffer is owned by the cache and overwritten on
+// the next access.
 func (c *Cache) partialMatches(set int, tag uint64) []bool {
-	out := make([]bool, c.numGroups)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		l := c.line(set, w)
-		if l.valid && l.tag&c.mask == tag&c.mask {
-			out[c.groupOfWay(w)] = true
+	out := c.matchBuf
+	for g := range out {
+		out[g] = false
+	}
+	masked := tag & c.mask
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag&c.mask == masked {
+			out[c.wayGroup[w]] = true
 		}
 	}
 	return out
@@ -274,14 +330,14 @@ func (c *Cache) partialMatches(set int, tag uint64) []bool {
 
 // Access implements memsys.LowerLevel.
 func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
-	c.ctrs.Inc("accesses")
+	c.hot.accesses++
 	if c.probe != nil {
 		c.probe.Emit(obs.Access(now, addr, write))
 	}
-	set := c.geo.SetIndex(addr)
-	tag := c.geo.Tag(addr)
+	set := c.idx.SetIndex(addr)
+	tag := c.idx.Tag(addr)
 
-	way, hit := c.lookup(addr)
+	way, hit := c.findWay(set, tag)
 
 	var done int64
 	switch c.cfg.Policy {
@@ -316,7 +372,7 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 
 	// Miss: fetch from memory and place in the slowest group.
 	c.dist.AddMiss()
-	c.ctrs.Inc("misses")
+	c.hot.misses++
 	if c.probe != nil {
 		c.probe.Emit(obs.Miss(now, addr))
 	}
@@ -326,7 +382,7 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 }
 
 func (c *Cache) chargeSmartSearch() {
-	c.ctrs.Inc("ss_accesses")
+	c.hot.ssAccesses++
 	c.energy += c.ssNJ
 }
 
@@ -370,7 +426,7 @@ func (c *Cache) searchParallel(now int64, set, way int, hit bool, matches []bool
 	if !anyMatch {
 		return now + c.ssLat // early miss
 	}
-	c.ctrs.Inc("false_partial_hits")
+	c.hot.falsePartialHits++
 	return latest
 }
 
@@ -389,7 +445,7 @@ func (c *Cache) searchSequential(now int64, set, way int, hit bool, matches []bo
 		if hit && g == c.groupOfWay(way) {
 			return t
 		}
-		c.ctrs.Inc("false_partial_hits")
+		c.hot.falsePartialHits++
 	}
 	_ = probed
 	return t // miss: confirmed after the last candidate (or the ss array)
@@ -406,7 +462,7 @@ func (c *Cache) promote(now int64, set, way int) {
 	// Stamps travel with the lines: the promoted block keeps its fresh
 	// recency, the demoted one keeps its old stamp.
 	*a, *b = *b, *a
-	c.ctrs.Inc("promotions")
+	c.hot.promotions++
 	if c.probe != nil {
 		c.probe.Emit(obs.Promote(now, g, g-1))
 		if swapped {
@@ -432,11 +488,10 @@ func (c *Cache) promote(now int64, set, way int) {
 // victimWay picks the way of `group` to displace: an invalid way when one
 // exists, else the LRU of the group's ways.
 func (c *Cache) victimWay(set, group int) int {
-	wpg := c.waysPerGroup()
-	base := group * wpg
+	base := group * c.wpg
 	victim := base
 	var best uint64 = ^uint64(0)
-	for w := base; w < base+wpg; w++ {
+	for w := base; w < base+c.wpg; w++ {
 		l := c.line(set, w)
 		if !l.valid {
 			return w
@@ -458,12 +513,12 @@ func (c *Cache) fill(now int64, set int, tag uint64, write bool) {
 	l := c.line(set, way)
 	bank := c.bankOf(slowest, set)
 	if l.valid {
-		c.ctrs.Inc("evictions")
+		c.hot.evictions++
 		if c.probe != nil {
 			c.probe.Emit(obs.Evict(now, slowest, l.dirty))
 		}
 		if l.dirty {
-			c.ctrs.Inc("writebacks")
+			c.hot.writebacks++
 			c.chargeBank(bank, now) // victim read
 			c.mem.Write()
 		}
@@ -482,8 +537,38 @@ func (c *Cache) Distribution() *stats.Distribution { return c.dist }
 // EnergyNJ implements memsys.LowerLevel.
 func (c *Cache) EnergyNJ() float64 { return c.energy }
 
-// Counters implements memsys.LowerLevel.
-func (c *Cache) Counters() *stats.Counters { return &c.ctrs }
+// Counters implements memsys.LowerLevel. The hot-path counts live in
+// plain fields and are materialized here; a name is created only when
+// its count is non-zero, matching the presence semantics of Inc.
+func (c *Cache) Counters() *stats.Counters {
+	set := func(name string, v int64) {
+		if v != 0 {
+			c.ctrs.Set(name, v)
+		}
+	}
+	set("accesses", c.hot.accesses)
+	set("misses", c.hot.misses)
+	set("evictions", c.hot.evictions)
+	set("writebacks", c.hot.writebacks)
+	set("promotions", c.hot.promotions)
+	set("bank_accesses", c.hot.bankAccesses)
+	set("ss_accesses", c.hot.ssAccesses)
+	set("false_partial_hits", c.hot.falsePartialHits)
+	return &c.ctrs
+}
+
+// AccessMany implements memsys.BatchAccessor: a trace is replayed with
+// each access issued when the previous one completes plus its gap.
+func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+	for i := range reqs {
+		r := c.Access(now, reqs[i].Addr, reqs[i].Write)
+		if out != nil {
+			out[i] = r
+		}
+		now = r.DoneAt + reqs[i].Gap
+	}
+	return now
+}
 
 // GroupOf reports which latency group currently holds addr, or -1.
 func (c *Cache) GroupOf(addr uint64) int {
@@ -508,7 +593,7 @@ func (c *Cache) NumGroups() int { return c.numGroups }
 func (c *Cache) CheckInvariants() error {
 	for set := 0; set < c.geo.NumSets(); set++ {
 		seen := make(map[uint64]bool)
-		for w := 0; w < c.cfg.Assoc; w++ {
+		for w := 0; w < c.assoc; w++ {
 			l := c.line(set, w)
 			if !l.valid {
 				continue
@@ -525,4 +610,7 @@ func (c *Cache) CheckInvariants() error {
 	return nil
 }
 
-var _ memsys.LowerLevel = (*Cache)(nil)
+var (
+	_ memsys.LowerLevel    = (*Cache)(nil)
+	_ memsys.BatchAccessor = (*Cache)(nil)
+)

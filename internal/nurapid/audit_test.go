@@ -122,20 +122,19 @@ func fillCache(t *testing.T) *Cache {
 	return c
 }
 
-// firstValid returns the coordinates of some valid tag entry and its
-// frame.
-func firstValid(t *testing.T, c *Cache) (set, way, g int, f int32) {
+// firstValid returns the coordinates of some valid tag entry and the
+// global id of its frame.
+func firstValid(t *testing.T, c *Cache) (set, way int, gid int32) {
 	t.Helper()
 	for set := 0; set < c.geo.NumSets(); set++ {
 		for way := 0; way < c.geo.Assoc; way++ {
 			if l := c.tags.Line(set, way); l.Valid {
-				g, f := c.decodeFrame(l.Aux)
-				return set, way, g, f
+				return set, way, c.decodeGid(l.Aux)
 			}
 		}
 	}
 	t.Fatal("no valid tag entry in a filled cache")
-	return 0, 0, 0, 0
+	return 0, 0, 0
 }
 
 // TestCheckInvariantsDetectsCorruption seeds one violation of each
@@ -148,15 +147,15 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		want    string
 	}{
 		{"dangling-forward-pointer", func(t *testing.T, c *Cache) {
-			set, way, _, _ := firstValid(t, c)
-			c.tags.Line(set, way).Aux = int64(len(c.groups)*c.framesPerGroup) + 7
+			set, way, _ := firstValid(t, c)
+			c.tags.Line(set, way).Aux = int64(c.store.numFrames()) + 7
 		}, "out of range"},
 		{"reverse-pointer-mismatch", func(t *testing.T, c *Cache) {
-			_, _, g, f := firstValid(t, c)
-			c.groups[g].frames[f].set ^= 1
+			_, _, gid := firstValid(t, c)
+			c.store.frames[gid].set ^= 1
 		}, "reverse pointer"},
 		{"double-mapped-frame", func(t *testing.T, c *Cache) {
-			set, way, _, _ := firstValid(t, c)
+			set, way, _ := firstValid(t, c)
 			aux := c.tags.Line(set, way).Aux
 			// Point a second valid tag entry at the same frame.
 			other := (way + 1) % c.geo.Assoc
@@ -166,30 +165,28 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 			c.tags.Line(set, other).Aux = aux
 		}, "double-mapped"},
 		{"occupancy-leak", func(t *testing.T, c *Cache) {
-			_, _, g, f := firstValid(t, c)
-			grp := c.groups[g]
-			grp.lruUnlink(f)
-			grp.frames[f].valid = false // freed frame without free-list insert
+			_, _, gid := firstValid(t, c)
+			s := &c.store
+			s.lruUnlink(gid, s.homeOf(gid))
+			s.frames[gid].valid = false // freed frame without free-list insert
 		}, ""},
 		{"recency-cycle", func(t *testing.T, c *Cache) {
-			_, _, g, f := firstValid(t, c)
-			grp := c.groups[g]
-			p := grp.partOf(f)
-			head := grp.lruHead[p]
-			if grp.next[head] == nilFrame {
+			_, _, gid := firstValid(t, c)
+			s := &c.store
+			head := s.lruHead[s.homeOf(gid)]
+			if s.next[head] == nilFrame {
 				t.Skip("recency list too short for a cycle")
 			}
-			grp.next[grp.next[head]] = head
+			s.next[s.next[head]] = head
 		}, ""},
 		{"prev-pointer-asymmetry", func(t *testing.T, c *Cache) {
-			_, _, g, f := firstValid(t, c)
-			grp := c.groups[g]
-			p := grp.partOf(f)
-			head := grp.lruHead[p]
-			if grp.next[head] == nilFrame {
+			_, _, gid := firstValid(t, c)
+			s := &c.store
+			head := s.lruHead[s.homeOf(gid)]
+			if s.next[head] == nilFrame {
 				t.Skip("recency list too short")
 			}
-			grp.prev[grp.next[head]] = nilFrame
+			s.prev[s.next[head]] = nilFrame
 		}, "prev pointer"},
 	}
 	for _, tc := range corruptions {
@@ -218,8 +215,8 @@ func TestAuditPanicsOnCorruption(t *testing.T) {
 		res := c.Access(now, uint64(b)*uint64(cfg.BlockBytes), false)
 		now = res.DoneAt + 1
 	}
-	_, _, g, f := firstValid(t, c)
-	c.groups[g].frames[f].set ^= 1
+	_, _, gid := firstValid(t, c)
+	c.store.frames[gid].set ^= 1
 
 	defer func() {
 		r := recover()

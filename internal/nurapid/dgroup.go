@@ -16,9 +16,13 @@ type frameMeta struct {
 	hits  uint8 // hits since the block arrived in this d-group
 }
 
-// dgroup is one distance-group: a pool of data frames at a single
-// latency. Frames are divided into partitions to express the placement
-// restrictions the paper discusses:
+// frameStore holds every d-group's data frames in one contiguous block,
+// indexed by dense global frame ids:
+//
+//	gid = group*framesPerGroup + localFrame
+//
+// Frames within a d-group are divided into partitions to express the
+// placement restrictions the paper discusses:
 //
 //   - unrestricted distance associativity: one partition spanning the
 //     whole d-group (any block anywhere);
@@ -27,234 +31,263 @@ type frameMeta struct {
 //   - set-associative placement (the Fig. 4 comparison): one partition
 //     per set, holding assoc/nGroups frames.
 //
-// Each partition maintains a free list and an intrusive recency list so
-// both random and true-LRU distance replacement run in O(1).
-type dgroup struct {
-	id       int
-	latency  int64   // full serve latency, tag included
-	dataLat  int64   // data array + wire portion (block movement cost)
-	accessNJ float64 // energy per data-array access
+// Each (group, partition) pair — its "home", h = group*nParts + part —
+// maintains a free list and an intrusive recency list threaded through
+// the shared prev/next slices, so both random and true-LRU distance
+// replacement run in O(1) with no per-frame heap nodes and no pointer
+// chasing across allocations. Hot-path methods take the home index h
+// from the caller (who derives it from the block's set without any
+// division); homeOf recomputes it with divisions for audits and tests.
+type frameStore struct {
+	nGroups        int
+	framesPerGroup int
+	nParts         int
+	partSize       int
 
-	nParts   int
-	partSize int
-	frames   []frameMeta
+	frames []frameMeta
 
-	// Intrusive doubly-linked recency list per partition over occupied
-	// frames (head = most recent). Free frames are chained through next.
+	// Intrusive doubly-linked recency list per home over occupied frames
+	// (head = most recent). Free frames are chained through next.
 	prev, next       []int32
-	lruHead, lruTail []int32
-	freeHead         []int32
-	freeCount        []int32
-
-	accesses int64 // data-array accesses (serves, swap reads/writes, fills)
+	lruHead, lruTail []int32 // indexed by home
+	freeHead         []int32 // indexed by home
+	freeCount        []int32 // indexed by home
 }
 
 const nilFrame = int32(-1)
 
-func newDGroup(id int, latency, dataLat int64, accessNJ float64, nParts, partSize int) *dgroup {
-	n := nParts * partSize
-	g := &dgroup{
-		id:        id,
-		latency:   latency,
-		dataLat:   dataLat,
-		accessNJ:  accessNJ,
-		nParts:    nParts,
-		partSize:  partSize,
-		frames:    make([]frameMeta, n),
-		prev:      make([]int32, n),
-		next:      make([]int32, n),
-		lruHead:   make([]int32, nParts),
-		lruTail:   make([]int32, nParts),
-		freeHead:  make([]int32, nParts),
-		freeCount: make([]int32, nParts),
+func newFrameStore(nGroups, framesPerGroup, nParts, partSize int) frameStore {
+	n := nGroups * framesPerGroup
+	homes := nGroups * nParts
+	s := frameStore{
+		nGroups:        nGroups,
+		framesPerGroup: framesPerGroup,
+		nParts:         nParts,
+		partSize:       partSize,
+		frames:         make([]frameMeta, n),
+		prev:           make([]int32, n),
+		next:           make([]int32, n),
+		lruHead:        make([]int32, homes),
+		lruTail:        make([]int32, homes),
+		freeHead:       make([]int32, homes),
+		freeCount:      make([]int32, homes),
 	}
-	for p := 0; p < nParts; p++ {
-		g.lruHead[p] = nilFrame
-		g.lruTail[p] = nilFrame
-		// Chain the partition's frames into its free list.
-		base := int32(p * partSize)
-		g.freeHead[p] = base
-		g.freeCount[p] = int32(partSize)
-		for i := int32(0); i < int32(partSize); i++ {
-			f := base + i
-			if i == int32(partSize)-1 {
-				g.next[f] = nilFrame
-			} else {
-				g.next[f] = f + 1
+	for g := 0; g < nGroups; g++ {
+		for p := 0; p < nParts; p++ {
+			h := g*nParts + p
+			s.lruHead[h] = nilFrame
+			s.lruTail[h] = nilFrame
+			// Chain the partition's frames into its free list in ascending
+			// order. Pops are LIFO, so the pinned refmodel contract holds:
+			// an untouched partition hands out frames lowest-id first, and
+			// a released frame is the next one reused.
+			base := int32(g*framesPerGroup + p*partSize)
+			s.freeHead[h] = base
+			s.freeCount[h] = int32(partSize)
+			for i := int32(0); i < int32(partSize); i++ {
+				f := base + i
+				if i == int32(partSize)-1 {
+					s.next[f] = nilFrame
+				} else {
+					s.next[f] = f + 1
+				}
+				s.prev[f] = nilFrame
 			}
-			g.prev[f] = nilFrame
 		}
 	}
-	return g
+	return s
 }
 
-func (g *dgroup) numFrames() int { return len(g.frames) }
+func (s *frameStore) numFrames() int { return len(s.frames) }
 
-func (g *dgroup) partOf(f int32) int { return int(f) / g.partSize }
+// homeOf recomputes the (group, partition) home of a frame from its id.
+// It divides; hot paths derive the home from the block's set instead.
+func (s *frameStore) homeOf(f int32) int {
+	g := int(f) / s.framesPerGroup
+	local := int(f) % s.framesPerGroup
+	return g*s.nParts + local/s.partSize
+}
 
-// takeFree pops a free frame from partition p, or returns nilFrame.
-func (g *dgroup) takeFree(p int) int32 {
-	f := g.freeHead[p]
+// partOf returns the partition index of a frame within its d-group.
+func (s *frameStore) partOf(f int32) int {
+	return (int(f) % s.framesPerGroup) / s.partSize
+}
+
+// partBase returns the first frame id of home h's partition.
+func (s *frameStore) partBase(h int) int32 {
+	g, p := h/s.nParts, h%s.nParts
+	return int32(g*s.framesPerGroup + p*s.partSize)
+}
+
+// takeFree pops a free frame from home h, or returns nilFrame.
+func (s *frameStore) takeFree(h int) int32 {
+	f := s.freeHead[h]
 	if f == nilFrame {
 		return nilFrame
 	}
-	g.freeHead[p] = g.next[f]
-	g.freeCount[p]--
+	s.freeHead[h] = s.next[f]
+	s.freeCount[h]--
 	return f
 }
 
-// victim selects an occupied frame of partition p to demote. The caller
+// victim selects an occupied frame of home h to demote; base is the
+// partition's first frame id (precomputed by the caller). The caller
 // must have exhausted takeFree first, so the partition is full and any
 // frame is occupied; random selection is a single draw and LRU is the
 // recency-list tail.
-func (g *dgroup) victim(p int, useLRU bool, rng *mathx.RNG) int32 {
+func (s *frameStore) victim(h int, base int32, useLRU bool, rng *mathx.RNG) int32 {
 	if useLRU {
-		f := g.lruTail[p]
+		f := s.lruTail[h]
 		if f == nilFrame {
-			panic(fmt.Sprintf("nurapid: d-group %d partition %d has no occupied frames", g.id, p))
+			panic(fmt.Sprintf("nurapid: d-group %d partition %d has no occupied frames",
+				h/s.nParts, h%s.nParts))
 		}
 		return f
 	}
-	if g.freeCount[p] != 0 {
-		panic(fmt.Sprintf("nurapid: random victim requested while partition %d has free frames", p))
+	if s.freeCount[h] != 0 {
+		panic(fmt.Sprintf("nurapid: random victim requested while partition %d has free frames",
+			h%s.nParts))
 	}
-	return int32(p*g.partSize) + int32(rng.Intn(g.partSize))
+	return base + int32(rng.Intn(s.partSize))
 }
 
-// occupy installs a block into free frame f and makes it most recent.
-func (g *dgroup) occupy(f int32, set int32, way int8) {
-	if g.frames[f].valid {
+// occupy installs a block into free frame f of home h and makes it most
+// recent.
+func (s *frameStore) occupy(f int32, h int, set int32, way int8) {
+	if s.frames[f].valid {
 		panic("nurapid: occupying a valid frame")
 	}
-	g.frames[f] = frameMeta{valid: true, set: set, way: way, hits: 0}
-	g.lruPush(f)
+	s.frames[f] = frameMeta{valid: true, set: set, way: way, hits: 0}
+	s.lruPush(f, h)
 }
 
 // replace swaps the occupant of frame f for a new block, returning the
 // old occupant's identity. Recency is refreshed: the incoming block was
 // just accessed or just demoted.
-func (g *dgroup) replace(f int32, set int32, way int8) (oldSet int32, oldWay int8) {
-	m := &g.frames[f]
+func (s *frameStore) replace(f int32, h int, set int32, way int8) (oldSet int32, oldWay int8) {
+	m := &s.frames[f]
 	if !m.valid {
 		panic("nurapid: replacing an empty frame")
 	}
 	oldSet, oldWay = m.set, m.way
 	m.set, m.way = set, way
 	m.hits = 0
-	g.lruUnlink(f)
-	g.lruPush(f)
+	s.lruUnlink(f, h)
+	s.lruPush(f, h)
 	return oldSet, oldWay
 }
 
-// release frees frame f (block evicted from the cache or promoted away).
-func (g *dgroup) release(f int32) {
-	if !g.frames[f].valid {
+// release frees frame f of home h (block evicted from the cache or
+// promoted away).
+func (s *frameStore) release(f int32, h int) {
+	if !s.frames[f].valid {
 		panic("nurapid: releasing an empty frame")
 	}
-	g.lruUnlink(f)
-	g.frames[f].valid = false
-	p := g.partOf(f)
-	g.next[f] = g.freeHead[p]
-	g.freeHead[p] = f
-	g.freeCount[p]++
+	s.lruUnlink(f, h)
+	s.frames[f].valid = false
+	s.next[f] = s.freeHead[h]
+	s.freeHead[h] = f
+	s.freeCount[h]++
 }
 
-// touch marks frame f most recently used in its partition.
-func (g *dgroup) touch(f int32) {
-	g.lruUnlink(f)
-	g.lruPush(f)
+// touch marks frame f most recently used in its home.
+func (s *frameStore) touch(f int32, h int) {
+	s.lruUnlink(f, h)
+	s.lruPush(f, h)
 }
 
-func (g *dgroup) lruPush(f int32) {
-	p := g.partOf(f)
-	g.prev[f] = nilFrame
-	g.next[f] = g.lruHead[p]
-	if g.lruHead[p] != nilFrame {
-		g.prev[g.lruHead[p]] = f
+func (s *frameStore) lruPush(f int32, h int) {
+	s.prev[f] = nilFrame
+	s.next[f] = s.lruHead[h]
+	if s.lruHead[h] != nilFrame {
+		s.prev[s.lruHead[h]] = f
 	}
-	g.lruHead[p] = f
-	if g.lruTail[p] == nilFrame {
-		g.lruTail[p] = f
+	s.lruHead[h] = f
+	if s.lruTail[h] == nilFrame {
+		s.lruTail[h] = f
 	}
 }
 
-func (g *dgroup) lruUnlink(f int32) {
-	p := g.partOf(f)
-	if g.prev[f] != nilFrame {
-		g.next[g.prev[f]] = g.next[f]
+func (s *frameStore) lruUnlink(f int32, h int) {
+	if s.prev[f] != nilFrame {
+		s.next[s.prev[f]] = s.next[f]
 	} else {
-		g.lruHead[p] = g.next[f]
+		s.lruHead[h] = s.next[f]
 	}
-	if g.next[f] != nilFrame {
-		g.prev[g.next[f]] = g.prev[f]
+	if s.next[f] != nilFrame {
+		s.prev[s.next[f]] = s.prev[f]
 	} else {
-		g.lruTail[p] = g.prev[f]
+		s.lruTail[h] = s.prev[f]
 	}
-	g.prev[f] = nilFrame
-	g.next[f] = nilFrame
+	s.prev[f] = nilFrame
+	s.next[f] = nilFrame
 }
 
-// checkIntegrity validates the partition lists (the auditor's d-group
-// half): every occupied frame is on exactly one recency list with
-// symmetric prev/next pointers and a consistent tail, every free frame on
-// its free list, and counts agree. It runs in O(frames) with a single
-// allocation so Config.Audit can afford it per access.
-func (g *dgroup) checkIntegrity() error {
-	onLRU := make([]bool, len(g.frames))
-	for p := 0; p < g.nParts; p++ {
-		onList := 0
-		last := nilFrame
-		for f := g.lruHead[p]; f != nilFrame; f = g.next[f] {
-			if onLRU[f] {
-				return fmt.Errorf("d-group %d partition %d: recency list cycle at %d", g.id, p, f)
+// checkIntegrity validates every home's lists (the auditor's data-array
+// half): every occupied frame is on exactly its home's recency list with
+// symmetric prev/next pointers and a consistent tail, every free frame
+// on its home's free list, and counts agree. It runs in O(frames) with a
+// single allocation so Config.Audit can afford it per access.
+func (s *frameStore) checkIntegrity() error {
+	onLRU := make([]bool, len(s.frames))
+	for g := 0; g < s.nGroups; g++ {
+		for p := 0; p < s.nParts; p++ {
+			h := g*s.nParts + p
+			onList := 0
+			last := nilFrame
+			for f := s.lruHead[h]; f != nilFrame; f = s.next[f] {
+				if onLRU[f] {
+					return fmt.Errorf("d-group %d partition %d: recency list cycle at %d", g, p, f)
+				}
+				if !s.frames[f].valid {
+					return fmt.Errorf("d-group %d: free frame %d on recency list", g, f)
+				}
+				if s.homeOf(f) != h {
+					return fmt.Errorf("d-group %d: frame %d on wrong partition list %d", g, f, p)
+				}
+				if s.prev[f] != last {
+					return fmt.Errorf("d-group %d partition %d: frame %d prev pointer %d, want %d",
+						g, p, f, s.prev[f], last)
+				}
+				onLRU[f] = true
+				last = f
+				onList++
 			}
-			if !g.frames[f].valid {
-				return fmt.Errorf("d-group %d: free frame %d on recency list", g.id, f)
+			if s.lruTail[h] != last {
+				return fmt.Errorf("d-group %d partition %d: recency tail %d, want %d",
+					g, p, s.lruTail[h], last)
 			}
-			if g.partOf(f) != p {
-				return fmt.Errorf("d-group %d: frame %d on wrong partition list %d", g.id, f, p)
+			free := int32(0)
+			for f := s.freeHead[h]; f != nilFrame; f = s.next[f] {
+				if s.frames[f].valid {
+					return fmt.Errorf("d-group %d: occupied frame %d on free list", g, f)
+				}
+				if s.homeOf(f) != h {
+					return fmt.Errorf("d-group %d: free frame %d on wrong partition list %d", g, f, p)
+				}
+				free++
+				if free > int32(s.partSize) {
+					return fmt.Errorf("d-group %d partition %d: free list cycle", g, p)
+				}
 			}
-			if g.prev[f] != last {
-				return fmt.Errorf("d-group %d partition %d: frame %d prev pointer %d, want %d",
-					g.id, p, f, g.prev[f], last)
+			if free != s.freeCount[h] {
+				return fmt.Errorf("d-group %d partition %d: free count %d, list %d", g, p, s.freeCount[h], free)
 			}
-			onLRU[f] = true
-			last = f
-			onList++
-		}
-		if g.lruTail[p] != last {
-			return fmt.Errorf("d-group %d partition %d: recency tail %d, want %d",
-				g.id, p, g.lruTail[p], last)
-		}
-		free := int32(0)
-		for f := g.freeHead[p]; f != nilFrame; f = g.next[f] {
-			if g.frames[f].valid {
-				return fmt.Errorf("d-group %d: occupied frame %d on free list", g.id, f)
+			occupied := 0
+			base := s.partBase(h)
+			for f := base; f < base+int32(s.partSize); f++ {
+				if s.frames[f].valid {
+					occupied++
+				}
 			}
-			if g.partOf(f) != p {
-				return fmt.Errorf("d-group %d: free frame %d on wrong partition list %d", g.id, f, p)
+			if occupied != onList {
+				return fmt.Errorf("d-group %d partition %d: %d occupied frames but %d on recency list",
+					g, p, occupied, onList)
 			}
-			free++
-			if free > int32(g.partSize) {
-				return fmt.Errorf("d-group %d partition %d: free list cycle", g.id, p)
+			if occupied+int(free) != s.partSize {
+				return fmt.Errorf("d-group %d partition %d: %d occupied + %d free != %d",
+					g, p, occupied, free, s.partSize)
 			}
-		}
-		if free != g.freeCount[p] {
-			return fmt.Errorf("d-group %d partition %d: free count %d, list %d", g.id, p, g.freeCount[p], free)
-		}
-		occupied := 0
-		for i := p * g.partSize; i < (p+1)*g.partSize; i++ {
-			if g.frames[i].valid {
-				occupied++
-			}
-		}
-		if occupied != onList {
-			return fmt.Errorf("d-group %d partition %d: %d occupied frames but %d on recency list",
-				g.id, p, occupied, onList)
-		}
-		if occupied+int(free) != g.partSize {
-			return fmt.Errorf("d-group %d partition %d: %d occupied + %d free != %d",
-				g.id, p, occupied, free, g.partSize)
 		}
 	}
 	return nil

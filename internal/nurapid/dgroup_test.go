@@ -7,147 +7,171 @@ import (
 	"nurapid/internal/mathx"
 )
 
-func newTestGroup(nParts, partSize int) *dgroup {
-	return newDGroup(0, 14, 6, 0.42, nParts, partSize)
+// newTestStore builds a single-d-group frame store; with one group the
+// home index of partition p is simply p.
+func newTestStore(nParts, partSize int) *frameStore {
+	s := newFrameStore(1, nParts*partSize, nParts, partSize)
+	return &s
 }
 
-func TestDGroupFreeListExhaustion(t *testing.T) {
-	g := newTestGroup(1, 4)
+func TestStoreFreeListExhaustion(t *testing.T) {
+	s := newTestStore(1, 4)
 	var frames []int32
 	for i := 0; i < 4; i++ {
-		f := g.takeFree(0)
+		f := s.takeFree(0)
 		if f == nilFrame {
 			t.Fatalf("free list exhausted after %d of 4", i)
 		}
-		g.occupy(f, int32(i), 0)
+		s.occupy(f, 0, int32(i), 0)
 		frames = append(frames, f)
 	}
-	if g.takeFree(0) != nilFrame {
+	if s.takeFree(0) != nilFrame {
 		t.Fatal("full partition must return nilFrame")
 	}
-	g.release(frames[2])
-	if f := g.takeFree(0); f != frames[2] {
+	s.release(frames[2], 0)
+	if f := s.takeFree(0); f != frames[2] {
 		t.Fatalf("released frame %d not reused (got %d)", frames[2], f)
 	}
 }
 
-func TestDGroupLRUVictimOrder(t *testing.T) {
-	g := newTestGroup(1, 3)
-	f0, f1, f2 := g.takeFree(0), g.takeFree(0), g.takeFree(0)
-	g.occupy(f0, 0, 0)
-	g.occupy(f1, 1, 0)
-	g.occupy(f2, 2, 0)
+func TestStoreLRUVictimOrder(t *testing.T) {
+	s := newTestStore(1, 3)
+	f0, f1, f2 := s.takeFree(0), s.takeFree(0), s.takeFree(0)
+	s.occupy(f0, 0, 0, 0)
+	s.occupy(f1, 0, 1, 0)
+	s.occupy(f2, 0, 2, 0)
 	// f0 is the oldest.
-	if v := g.victim(0, true, nil); v != f0 {
+	if v := s.victim(0, 0, true, nil); v != f0 {
 		t.Fatalf("LRU victim = %d, want %d", v, f0)
 	}
-	g.touch(f0) // now f1 is oldest
-	if v := g.victim(0, true, nil); v != f1 {
+	s.touch(f0, 0) // now f1 is oldest
+	if v := s.victim(0, 0, true, nil); v != f1 {
 		t.Fatalf("LRU victim after touch = %d, want %d", v, f1)
 	}
 }
 
-func TestDGroupReplaceKeepsIdentity(t *testing.T) {
-	g := newTestGroup(1, 2)
-	f := g.takeFree(0)
-	g.occupy(f, 7, 3)
-	oldSet, oldWay := g.replace(f, 9, 1)
+func TestStoreReplaceKeepsIdentity(t *testing.T) {
+	s := newTestStore(1, 2)
+	f := s.takeFree(0)
+	s.occupy(f, 0, 7, 3)
+	oldSet, oldWay := s.replace(f, 0, 9, 1)
 	if oldSet != 7 || oldWay != 3 {
 		t.Fatalf("replace returned (%d,%d), want (7,3)", oldSet, oldWay)
 	}
-	if g.frames[f].set != 9 || g.frames[f].way != 1 {
+	if s.frames[f].set != 9 || s.frames[f].way != 1 {
 		t.Fatal("replace did not install the new block")
 	}
 	// The replaced frame must be most recent.
-	g2 := g.takeFree(0)
-	g.occupy(g2, 5, 5)
-	g.touch(f)
-	if v := g.victim(0, true, nil); v != g2 {
-		t.Fatalf("victim = %d, want the colder frame %d", v, g2)
+	f2 := s.takeFree(0)
+	s.occupy(f2, 0, 5, 5)
+	s.touch(f, 0)
+	if v := s.victim(0, 0, true, nil); v != f2 {
+		t.Fatalf("victim = %d, want the colder frame %d", v, f2)
 	}
 }
 
-func TestDGroupRandomVictimRequiresFullPartition(t *testing.T) {
-	g := newTestGroup(1, 2)
-	f := g.takeFree(0)
-	g.occupy(f, 0, 0)
+func TestStoreRandomVictimRequiresFullPartition(t *testing.T) {
+	s := newTestStore(1, 2)
+	f := s.takeFree(0)
+	s.occupy(f, 0, 0, 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("random victim with free frames must panic")
 		}
 	}()
-	g.victim(0, false, mathx.NewRNG(1))
+	s.victim(0, 0, false, mathx.NewRNG(1))
 }
 
-func TestDGroupPartitionsIndependent(t *testing.T) {
-	g := newTestGroup(2, 2)
+func TestStorePartitionsIndependent(t *testing.T) {
+	s := newTestStore(2, 2)
 	// Exhaust partition 0; partition 1 must still have frames.
-	g.occupy(g.takeFree(0), 0, 0)
-	g.occupy(g.takeFree(0), 2, 0)
-	if g.takeFree(0) != nilFrame {
+	s.occupy(s.takeFree(0), 0, 0, 0)
+	s.occupy(s.takeFree(0), 0, 2, 0)
+	if s.takeFree(0) != nilFrame {
 		t.Fatal("partition 0 should be full")
 	}
-	f1 := g.takeFree(1)
+	f1 := s.takeFree(1)
 	if f1 == nilFrame {
 		t.Fatal("partition 1 must be unaffected")
 	}
-	g.occupy(f1, 1, 0) // a taken frame must be occupied before checking
-	if err := g.checkIntegrity(); err != nil {
+	s.occupy(f1, 1, 1, 0) // a taken frame must be occupied before checking
+	if err := s.checkIntegrity(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestDGroupOccupyValidFramePanics(t *testing.T) {
-	g := newTestGroup(1, 2)
-	f := g.takeFree(0)
-	g.occupy(f, 0, 0)
+func TestStoreGroupsShareNoFrames(t *testing.T) {
+	// Two groups, one partition each: frame ids must not overlap, and a
+	// frame's home must round-trip through homeOf.
+	s := newFrameStore(2, 4, 1, 4)
+	f0 := s.takeFree(0) // group 0, partition 0
+	f1 := s.takeFree(1) // group 1, partition 0
+	if f0 == f1 {
+		t.Fatalf("groups handed out the same frame %d", f0)
+	}
+	if s.homeOf(f0) != 0 || s.homeOf(f1) != 1 {
+		t.Fatalf("homeOf(%d)=%d, homeOf(%d)=%d; want 0 and 1",
+			f0, s.homeOf(f0), f1, s.homeOf(f1))
+	}
+	s.occupy(f0, 0, 0, 0)
+	s.occupy(f1, 1, 0, 0)
+	if err := s.checkIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreOccupyValidFramePanics(t *testing.T) {
+	s := newTestStore(1, 2)
+	f := s.takeFree(0)
+	s.occupy(f, 0, 0, 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double occupy must panic")
 		}
 	}()
-	g.occupy(f, 1, 0)
+	s.occupy(f, 0, 1, 0)
 }
 
-func TestDGroupReleaseEmptyFramePanics(t *testing.T) {
-	g := newTestGroup(1, 2)
-	f := g.takeFree(0)
+func TestStoreReleaseEmptyFramePanics(t *testing.T) {
+	s := newTestStore(1, 2)
+	f := s.takeFree(0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("releasing a free frame must panic")
 		}
 	}()
-	g.release(f)
+	s.release(f, 0)
 }
 
-func TestDGroupQuickRandomOps(t *testing.T) {
+func TestStoreQuickRandomOps(t *testing.T) {
 	// Property: any sequence of take/occupy/touch/release operations
 	// leaves the partition lists consistent.
 	f := func(seed uint64, opsRaw []uint8) bool {
-		g := newTestGroup(2, 8)
+		s := newTestStore(2, 8)
 		rng := mathx.NewRNG(seed)
 		var occupied []int32
 		for _, op := range opsRaw {
 			switch op % 3 {
 			case 0: // allocate
 				p := rng.Intn(2)
-				if fr := g.takeFree(p); fr != nilFrame {
-					g.occupy(fr, int32(rng.Intn(100)), int8(rng.Intn(8)))
+				if fr := s.takeFree(p); fr != nilFrame {
+					s.occupy(fr, p, int32(rng.Intn(100)), int8(rng.Intn(8)))
 					occupied = append(occupied, fr)
 				}
 			case 1: // touch
 				if len(occupied) > 0 {
-					g.touch(occupied[rng.Intn(len(occupied))])
+					fr := occupied[rng.Intn(len(occupied))]
+					s.touch(fr, s.homeOf(fr))
 				}
 			case 2: // release
 				if len(occupied) > 0 {
 					i := rng.Intn(len(occupied))
-					g.release(occupied[i])
+					s.release(occupied[i], s.homeOf(occupied[i]))
 					occupied = append(occupied[:i], occupied[i+1:]...)
 				}
 			}
 		}
-		return g.checkIntegrity() == nil
+		return s.checkIntegrity() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

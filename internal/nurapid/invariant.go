@@ -34,7 +34,7 @@ func (c *Cache) CheckInvariants() error {
 	// Every valid tag entry's forward pointer must land, within its own
 	// partition, on a distinct occupied frame whose reverse pointer
 	// points back.
-	claimed := make([]bool, len(c.groups)*c.framesPerGroup)
+	claimed := make([]bool, c.store.numFrames())
 	validTags := 0
 	for set := 0; set < c.geo.NumSets(); set++ {
 		for way := 0; way < c.geo.Assoc; way++ {
@@ -46,14 +46,14 @@ func (c *Cache) CheckInvariants() error {
 			if l.Aux <= 0 || int(l.Aux-1) >= len(claimed) {
 				return fmt.Errorf("tag (%d,%d): forward pointer %d out of range", set, way, l.Aux)
 			}
-			gid := int(l.Aux - 1)
-			g, f := gid/c.framesPerGroup, int32(gid%c.framesPerGroup)
+			gid := int32(l.Aux - 1)
+			g, f := c.groupOfGid(gid), gid%int32(c.framesPerGroup)
 			if claimed[gid] {
 				return fmt.Errorf("frame %d/%d double-mapped; tag (%d,%d) claims an already-claimed frame",
 					g, f, set, way)
 			}
 			claimed[gid] = true
-			m := c.groups[g].frames[f]
+			m := c.store.frames[gid]
 			if !m.valid {
 				return fmt.Errorf("tag (%d,%d): forward pointer to empty frame %d/%d", set, way, g, f)
 			}
@@ -61,7 +61,7 @@ func (c *Cache) CheckInvariants() error {
 				return fmt.Errorf("frame %d/%d reverse pointer (%d,%d) != tag (%d,%d)",
 					g, f, m.set, m.way, set, way)
 			}
-			if c.partition(int32(set)) != c.groups[g].partOf(f) {
+			if c.partition(int32(set)) != c.store.partOf(gid) {
 				return fmt.Errorf("tag (%d,%d) placed outside its partition", set, way)
 			}
 		}
@@ -69,17 +69,16 @@ func (c *Cache) CheckInvariants() error {
 	// Every occupied frame must be claimed by exactly one tag entry;
 	// counting both directions establishes the bijection. checkIntegrity
 	// covers the per-partition recency/free list structure.
+	if err := c.store.checkIntegrity(); err != nil {
+		return err
+	}
 	occupied := 0
-	for gi, g := range c.groups {
-		if err := g.checkIntegrity(); err != nil {
-			return err
-		}
-		for f := range g.frames {
-			if g.frames[f].valid {
-				occupied++
-				if !claimed[gi*c.framesPerGroup+f] {
-					return fmt.Errorf("frame %d/%d occupied but claimed by no tag entry", gi, f)
-				}
+	for gid := range c.store.frames {
+		if c.store.frames[gid].valid {
+			occupied++
+			if !claimed[gid] {
+				return fmt.Errorf("frame %d/%d occupied but claimed by no tag entry",
+					c.groupOfGid(int32(gid)), gid%c.framesPerGroup)
 			}
 		}
 	}
@@ -92,12 +91,9 @@ func (c *Cache) CheckInvariants() error {
 // occupiedFrames returns the number of occupied data frames across all
 // d-groups, derived from the free-list accounting.
 func (c *Cache) occupiedFrames() int {
-	n := 0
-	for _, g := range c.groups {
-		n += g.numFrames()
-		for p := 0; p < g.nParts; p++ {
-			n -= int(g.freeCount[p])
-		}
+	n := c.store.numFrames()
+	for h := range c.store.freeCount {
+		n -= int(c.store.freeCount[h])
 	}
 	return n
 }
@@ -108,12 +104,12 @@ func (c *Cache) occupiedFrames() int {
 // then re-verifies the full structural invariants.
 func (c *Cache) auditedAccess(now int64, addr uint64, write bool) memsys.AccessResult {
 	occBefore := c.occupiedFrames()
-	evBefore := c.ctrs.Get("evictions")
+	evBefore := c.hot.evictions
 	res := c.access(now, addr, write)
 	occAfter := c.occupiedFrames()
 	want := occBefore
 	if !res.Hit {
-		want += 1 - int(c.ctrs.Get("evictions")-evBefore)
+		want += 1 - int(c.hot.evictions-evBefore)
 	}
 	if occAfter != want {
 		panic(fmt.Sprintf("nurapid: audit: occupancy not conserved across access of %#x: %d -> %d, want %d (hit=%v)",

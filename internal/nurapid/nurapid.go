@@ -15,6 +15,13 @@
 // The cache is one-ported and non-banked: any outstanding block movement
 // must complete before the next access starts, modeled with a single
 // port scoreboard.
+//
+// The implementation is organized for an allocation-free access loop:
+// all d-group frames live in one flat frameStore indexed by dense global
+// frame ids (the tag-line forward pointer is that id plus one), per-set
+// partition and per-group latency/energy lookups are precomputed tables,
+// and the per-access event counts are plain struct fields materialized
+// into the named counter set only when Counters() is called.
 package nurapid
 
 import (
@@ -169,17 +176,41 @@ const accessIssueInterval = 4
 // how few swaps its placement policy needs.
 const movementOccupancy = 2
 
+// hotCounters are the per-access event counts, kept as plain fields so
+// the access loop never hashes a counter name. Counters() materializes
+// them into the named set with the same presence semantics Inc would
+// have produced: a name exists iff its event occurred at least once.
+type hotCounters struct {
+	accesses   int64
+	misses     int64
+	evictions  int64
+	writebacks int64
+	promotions int64
+	demotions  int64
+}
+
 // Cache is a NuRAPID lower-level cache. It implements memsys.LowerLevel.
 type Cache struct {
 	cfg    Config
 	geo    cache.Geometry
+	idx    cache.Index
 	tags   *cache.Array
-	groups []*dgroup
+	store  frameStore
 	tagLat int64
 	tagNJ  float64
 
+	nGroups        int
 	framesPerGroup int
 	nParts         int
+	partSize       int
+	fpgShift       uint8 // frame id -> group shift; valid iff fpgPow2
+	fpgPow2        bool
+	trigger        uint8 // promotion trigger in saturating-hit units
+
+	grpLat      []int64   // serve latency per d-group
+	grpNJ       []float64 // energy per data-array access per d-group
+	grpAccesses []int64   // data-array accesses per d-group
+	partTab     []int32   // set -> frame partition (same in every group)
 
 	port  memsys.Port
 	mem   *memsys.Memory
@@ -188,6 +219,7 @@ type Cache struct {
 
 	dist   *stats.Distribution
 	ctrs   stats.Counters
+	hot    hotCounters
 	energy float64
 }
 
@@ -247,30 +279,63 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 	energies := m.DGroupEnergies(plan)
 
 	labels := make([]string, cfg.NumDGroups)
-	groups := make([]*dgroup, cfg.NumDGroups)
-	for g := range groups {
+	grpLat := make([]int64, cfg.NumDGroups)
+	grpNJ := make([]float64, cfg.NumDGroups)
+	for g := range labels {
 		labels[g] = fmt.Sprintf("dgroup-%d", g)
-		groups[g] = newDGroup(g, int64(lats[g]), int64(lats[g])-int64(m.TagCycles),
-			energies[g], nParts, partSize)
+		grpLat[g] = int64(lats[g])
+		grpNJ[g] = energies[g]
+	}
+
+	// The partition of a block depends only on its set, and identically
+	// in every d-group, so demotion chains stay within one partition and
+	// the conservation argument (a freed frame is always reachable)
+	// holds. Memoized so the access loop never divides.
+	partTab := make([]int32, geo.NumSets())
+	if nParts > 1 {
+		for s := range partTab {
+			if cfg.Placement == SetAssociative {
+				partTab[s] = int32(s)
+			} else {
+				partTab[s] = int32(s % nParts)
+			}
+		}
 	}
 
 	tags, err := cache.NewArray(geo, cache.LRU, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{
+	trigger := uint8(1)
+	if cfg.PromoteHits > 1 {
+		trigger = uint8(cfg.PromoteHits)
+	}
+	c := &Cache{
 		cfg:            cfg,
 		geo:            geo,
+		idx:            geo.Index(),
 		tags:           tags,
-		groups:         groups,
+		store:          newFrameStore(cfg.NumDGroups, framesPerGroup, nParts, partSize),
 		tagLat:         int64(m.TagCycles),
 		tagNJ:          0.05,
+		nGroups:        cfg.NumDGroups,
 		framesPerGroup: framesPerGroup,
 		nParts:         nParts,
+		partSize:       partSize,
+		trigger:        trigger,
+		grpLat:         grpLat,
+		grpNJ:          grpNJ,
+		grpAccesses:    make([]int64, cfg.NumDGroups),
+		partTab:        partTab,
 		mem:            mem,
 		rng:            mathx.NewRNG(cfg.Seed),
 		dist:           stats.NewDistribution(labels...),
-	}, nil
+	}
+	if mathx.IsPow2(int64(framesPerGroup)) {
+		c.fpgShift = uint8(mathx.Log2(int64(framesPerGroup)))
+		c.fpgPow2 = true
+	}
+	return c, nil
 }
 
 // MustNew is New that panics on configuration errors.
@@ -296,40 +361,46 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) SetProbe(p obs.Probe) { c.probe = p }
 
 // partition returns the frame partition for a block of the given set.
-// The mapping is identical in every d-group, so demotion chains stay
-// within one partition and the conservation argument (a freed frame is
-// always reachable) holds.
 func (c *Cache) partition(set int32) int {
 	if c.nParts == 1 {
 		return 0
 	}
-	if c.cfg.Placement == SetAssociative {
-		return int(set)
-	}
-	return int(set) % c.nParts
+	return int(c.partTab[set])
 }
 
 // Forward pointers are stored in tag-line Aux as 1+global frame id so
 // that the zero value means "no frame".
-func encodeFrame(group int, f int32, framesPerGroup int) int64 {
-	return int64(group*framesPerGroup+int(f)) + 1
-}
 
 func (c *Cache) decodeFrame(aux int64) (group int, f int32) {
+	gid := c.decodeGid(aux)
+	g := c.groupOfGid(gid)
+	return g, gid - int32(g*c.framesPerGroup)
+}
+
+// decodeGid extracts the global frame id from a tag line's Aux.
+func (c *Cache) decodeGid(aux int64) int32 {
 	if aux == 0 {
 		panic("nurapid: tag entry has no forward pointer")
 	}
-	gid := int(aux - 1)
-	return gid / c.framesPerGroup, int32(gid % c.framesPerGroup)
+	return int32(aux - 1)
+}
+
+// groupOfGid maps a global frame id to its d-group: a shift when the
+// per-group frame count is a power of two (every paper configuration),
+// a division otherwise.
+func (c *Cache) groupOfGid(gid int32) int {
+	if c.fpgPow2 {
+		return int(uint32(gid) >> c.fpgShift)
+	}
+	return int(gid) / c.framesPerGroup
 }
 
 // chargeAccess records one data-array access in d-group g (a serve, a
 // swap read/write, or a fill), charging energy and counting it toward the
 // paper's "d-group accesses" comparison.
 func (c *Cache) chargeAccess(g int) {
-	grp := c.groups[g]
-	grp.accesses++
-	c.energy += grp.accessNJ
+	c.grpAccesses[g]++
+	c.energy += c.grpNJ[g]
 }
 
 // Access implements memsys.LowerLevel.
@@ -340,13 +411,34 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	return c.access(now, addr, write)
 }
 
+// AccessMany implements memsys.BatchAccessor: the trace-replay loop with
+// the per-request interface dispatch hoisted out. Each request issues at
+// the completion time of its predecessor plus its think-time gap, and
+// every per-access effect — including port serialization behind
+// outstanding demotion-ripple movement — is identical to issuing the
+// requests one at a time through Access; the differential harness
+// replays both paths and compares them element by element.
+func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+	if c.cfg.Audit {
+		return memsys.GenericAccessMany(c, now, reqs, out)
+	}
+	for i := range reqs {
+		r := c.access(now, reqs[i].Addr, reqs[i].Write)
+		if out != nil {
+			out[i] = r
+		}
+		now = r.DoneAt + reqs[i].Gap
+	}
+	return now
+}
+
 func (c *Cache) access(now int64, addr uint64, write bool) memsys.AccessResult {
-	c.ctrs.Inc("accesses")
+	c.hot.accesses++
 	if c.probe != nil {
 		c.probe.Emit(obs.Access(now, addr, write))
 	}
-	set := c.geo.SetIndex(addr)
-	way, hit := c.tags.Lookup(addr)
+	set := c.idx.SetIndex(addr)
+	way, hit := c.tags.FindTag(set, c.idx.Tag(addr))
 	if hit {
 		return c.accessHit(now, set, way, write)
 	}
@@ -359,11 +451,12 @@ func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResu
 	if write {
 		line.Dirty = true
 	}
-	g, f := c.decodeFrame(line.Aux)
-	grp := c.groups[g]
-	grp.touch(f)
-	if grp.frames[f].hits < 255 {
-		grp.frames[f].hits++
+	gid := c.decodeGid(line.Aux)
+	g := c.groupOfGid(gid)
+	c.store.touch(gid, g*c.nParts+c.partition(int32(set)))
+	fm := &c.store.frames[gid]
+	if fm.hits < 255 {
+		fm.hits++
 	}
 
 	// The single port accepts a new access every issue interval
@@ -372,25 +465,21 @@ func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResu
 	// place() — must complete before the next access starts, per the
 	// paper's one-ported, non-banked design.
 	start := c.port.Acquire(now, accessIssueInterval)
-	done := start + grp.latency
+	done := start + c.grpLat[g]
 	c.chargeAccess(g)
 	c.dist.AddHit(g)
 	if c.probe != nil {
 		c.probe.Emit(obs.Hit(now, g, done-now))
 	}
 
-	trigger := uint8(1)
-	if c.cfg.PromoteHits > 1 {
-		trigger = uint8(c.cfg.PromoteHits)
-	}
 	switch c.cfg.Promotion {
 	case NextFastest:
-		if g > 0 && grp.frames[f].hits >= trigger {
-			c.moveBlock(now, set, way, g, g-1)
+		if g > 0 && fm.hits >= c.trigger {
+			c.moveBlock(now, set, way, gid, g, g-1)
 		}
 	case Fastest:
-		if g > 0 && grp.frames[f].hits >= trigger {
-			c.moveBlock(now, set, way, g, 0)
+		if g > 0 && fm.hits >= c.trigger {
+			c.moveBlock(now, set, way, gid, g, 0)
 		}
 	}
 	return memsys.AccessResult{Hit: true, DoneAt: done, Group: g}
@@ -405,7 +494,7 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 	start := c.port.Acquire(now, accessIssueInterval)
 	c.energy += c.tagNJ
 	c.dist.AddMiss()
-	c.ctrs.Inc("misses")
+	c.hot.misses++
 	if c.probe != nil {
 		c.probe.Emit(obs.Miss(now, addr))
 	}
@@ -415,14 +504,15 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 	way := c.tags.VictimWay(set)
 	vl := c.tags.Line(set, way)
 	if vl.Valid {
-		vg, vf := c.decodeFrame(vl.Aux)
-		c.groups[vg].release(vf)
-		c.ctrs.Inc("evictions")
+		vgid := c.decodeGid(vl.Aux)
+		vg := c.groupOfGid(vgid)
+		c.store.release(vgid, vg*c.nParts+c.partition(int32(set)))
+		c.hot.evictions++
 		if c.probe != nil {
 			c.probe.Emit(obs.Evict(now, vg, vl.Dirty))
 		}
 		if vl.Dirty {
-			c.ctrs.Inc("writebacks")
+			c.hot.writebacks++
 			c.chargeAccess(vg) // victim read for writeback
 			c.mem.Write()
 		}
@@ -440,15 +530,13 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
 }
 
-// moveBlock promotes the block at (set, way) from d-group `from` to
-// d-group `to` (to < from): its current frame is released, and placement
-// into `to` demotes victims outward; the chain terminates at the released
-// frame at the latest.
-func (c *Cache) moveBlock(now int64, set, way, from, to int) {
-	line := c.tags.Line(set, way)
-	_, f := c.decodeFrame(line.Aux)
-	c.groups[from].release(f)
-	c.ctrs.Inc("promotions")
+// moveBlock promotes the block at (set, way), currently in frame gid of
+// d-group `from`, to d-group `to` (to < from): its current frame is
+// released, and placement into `to` demotes victims outward; the chain
+// terminates at the released frame at the latest.
+func (c *Cache) moveBlock(now int64, set, way int, gid int32, from, to int) {
+	c.store.release(gid, from*c.nParts+c.partition(int32(set)))
+	c.hot.promotions++
 	if c.probe != nil {
 		c.probe.Emit(obs.Promote(now, from, to))
 	}
@@ -461,18 +549,21 @@ func (c *Cache) moveBlock(now int64, set, way, from, to int) {
 // d-group g, performing distance replacement: if the partition has no
 // free frame, a victim is selected, displaced, and recursively placed
 // one group farther. Conservation of frames guarantees termination; the
-// worst case is nGroups-1 demotions (paper Sec. 2.2).
+// worst case is nGroups-1 demotions (paper Sec. 2.2). The whole chain
+// stays in one partition (the partition mapping is identical in every
+// d-group), so the partition index is computed once.
 func (c *Cache) place(now int64, set int32, way int8, g int) {
+	p := c.partition(set)
+	useLRU := c.cfg.Distance == LRUDistance
 	depth := 0
 	for {
-		if g >= len(c.groups) {
+		if g >= c.nGroups {
 			panic("nurapid: demotion ripple ran past the slowest d-group")
 		}
-		grp := c.groups[g]
-		p := c.partition(set)
-		if f := grp.takeFree(p); f != nilFrame {
-			grp.occupy(f, set, way)
-			c.tags.Line(int(set), int(way)).Aux = encodeFrame(g, f, c.framesPerGroup)
+		h := g*c.nParts + p
+		if f := c.store.takeFree(h); f != nilFrame {
+			c.store.occupy(f, h, set, way)
+			c.tags.Line(int(set), int(way)).Aux = int64(f) + 1
 			c.chargeAccess(g) // fill write, off the port's critical path
 			if c.probe != nil {
 				c.probe.Emit(obs.Place(now, g, depth))
@@ -485,13 +576,14 @@ func (c *Cache) place(now int64, set int32, way int8, g int) {
 			}
 			return
 		}
-		fv := grp.victim(p, c.cfg.Distance == LRUDistance, c.rng)
-		oldSet, oldWay := grp.replace(fv, set, way)
-		c.tags.Line(int(set), int(way)).Aux = encodeFrame(g, fv, c.framesPerGroup)
+		base := int32(g*c.framesPerGroup + p*c.partSize)
+		fv := c.store.victim(h, base, useLRU, c.rng)
+		oldSet, oldWay := c.store.replace(fv, h, set, way)
+		c.tags.Line(int(set), int(way)).Aux = int64(fv) + 1
 		c.chargeAccess(g) // victim read
 		c.chargeAccess(g) // incoming write
 		c.port.Extend(2 * movementOccupancy)
-		c.ctrs.Inc("demotions")
+		c.hot.demotions++
 		depth++
 		if c.probe != nil {
 			c.probe.Emit(obs.DemoteLink(now, g, g+1, depth))
@@ -507,8 +599,22 @@ func (c *Cache) Distribution() *stats.Distribution { return c.dist }
 // EnergyNJ implements memsys.LowerLevel.
 func (c *Cache) EnergyNJ() float64 { return c.energy }
 
-// Counters implements memsys.LowerLevel.
+// Counters implements memsys.LowerLevel. The hot per-access counts are
+// materialized into the named set here, preserving Inc's presence
+// semantics (a name exists iff its count is non-zero); the port gauges
+// are always present, as before.
 func (c *Cache) Counters() *stats.Counters {
+	setIfNonZero := func(name string, v int64) {
+		if v != 0 {
+			c.ctrs.Set(name, v)
+		}
+	}
+	setIfNonZero("accesses", c.hot.accesses)
+	setIfNonZero("misses", c.hot.misses)
+	setIfNonZero("evictions", c.hot.evictions)
+	setIfNonZero("writebacks", c.hot.writebacks)
+	setIfNonZero("promotions", c.hot.promotions)
+	setIfNonZero("demotions", c.hot.demotions)
 	c.ctrs.Set("port_wait_cycles", c.port.WaitCycles)
 	c.ctrs.Set("port_conflicts", c.port.Conflicts)
 	c.ctrs.Set("port_busy_cycles", c.port.BusyCycles)
@@ -535,19 +641,15 @@ func (c *Cache) Snapshot() []stats.KV {
 // the quantity behind the paper's "61% fewer d-group accesses than NUCA"
 // claim.
 func (c *Cache) GroupAccesses() []int64 {
-	out := make([]int64, len(c.groups))
-	for i, g := range c.groups {
-		out[i] = g.accesses
-	}
+	out := make([]int64, c.nGroups)
+	copy(out, c.grpAccesses)
 	return out
 }
 
 // GroupLatencies returns each d-group's serve latency in cycles.
 func (c *Cache) GroupLatencies() []int64 {
-	out := make([]int64, len(c.groups))
-	for i, g := range c.groups {
-		out[i] = g.latency
-	}
+	out := make([]int64, c.nGroups)
+	copy(out, c.grpLat)
 	return out
 }
 
@@ -555,13 +657,13 @@ func (c *Cache) GroupLatencies() []int64 {
 // side effects) — compared against the reference model's occupancy by the
 // differential harness.
 func (c *Cache) GroupOccupancy() []int {
-	out := make([]int, len(c.groups))
-	for i, g := range c.groups {
+	out := make([]int, c.nGroups)
+	for g := 0; g < c.nGroups; g++ {
 		free := 0
-		for p := 0; p < g.nParts; p++ {
-			free += int(g.freeCount[p])
+		for p := 0; p < c.nParts; p++ {
+			free += int(c.store.freeCount[g*c.nParts+p])
 		}
-		out[i] = g.numFrames() - free
+		out[g] = c.framesPerGroup - free
 	}
 	return out
 }
@@ -573,7 +675,7 @@ func (c *Cache) GroupOf(addr uint64) int {
 	if !hit {
 		return -1
 	}
-	g, _ := c.decodeFrame(c.tags.Line(c.geo.SetIndex(addr), way).Aux)
+	g, _ := c.decodeFrame(c.tags.Line(c.idx.SetIndex(addr), way).Aux)
 	return g
 }
 
@@ -591,7 +693,8 @@ func (c *Cache) PointerBits() int {
 	if c.cfg.RestrictFrames > 0 {
 		reach = c.cfg.RestrictFrames
 	}
-	return mathx.Log2(int64(reach*len(c.groups)-1)) + 1
+	return mathx.Log2(int64(reach*c.nGroups-1)) + 1
 }
 
 var _ memsys.LowerLevel = (*Cache)(nil)
+var _ memsys.BatchAccessor = (*Cache)(nil)

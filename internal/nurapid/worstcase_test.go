@@ -154,8 +154,8 @@ func demoteOneBlock(t *testing.T, promotion Promotion, promoteHits int) (*Cache,
 	if !hit {
 		t.Fatal("b0 not resident after aging")
 	}
-	g, f := c.decodeFrame(c.tags.Line(c.geo.SetIndex(b0), way).Aux)
-	return c, b0, &c.groups[g].frames[f]
+	gid := c.decodeGid(c.tags.Line(c.geo.SetIndex(b0), way).Aux)
+	return c, b0, &c.store.frames[gid]
 }
 
 // TestHitCounterSaturates pins the 8-bit promotion hit counter's

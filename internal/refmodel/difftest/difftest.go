@@ -69,7 +69,10 @@ func (r *recorder) Emit(e obs.Event) { r.events = append(r.events, e) }
 
 // Diff replays seq against a fresh fast implementation and a fresh
 // reference model (each with its own memory) and returns the first
-// divergence, or nil when the two agree on everything.
+// divergence, or nil when the two agree on everything. A third fast
+// instance replays the same sequence through the batched AccessMany
+// path and is compared against the per-access path element by element,
+// so the specialized replay loop is oracle-gated too.
 func Diff(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 	m := cacti.Default()
 	fastMem := memsys.NewMemory(cfg.BlockBytes)
@@ -83,9 +86,11 @@ func Diff(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 	ref.SetProbe(refRec)
 
 	now := int64(0)
+	fastResults := make([]memsys.AccessResult, len(seq))
 	for i, a := range seq {
 		fr := fast.Access(now, a.Addr, a.Write)
 		rr := ref.Access(now, a.Addr, a.Write)
+		fastResults[i] = fr
 		if fr.Hit != rr.Hit {
 			return &Divergence{Index: i, Field: "hit",
 				Fast: fmt.Sprint(fr.Hit), Ref: fmt.Sprint(rr.Hit)}
@@ -119,7 +124,81 @@ func Diff(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 		}
 	}
 
+	if d := diffBatched(cfg, m, seq, fast, fastMem, fastRec, fastResults, now); d != nil {
+		return d
+	}
+
 	return diffFinalState(fast, ref, fastMem, refMem, seq)
+}
+
+// diffBatched replays seq on a fresh instance through memsys.AccessMany
+// and compares it against the per-access fast run: per-request results,
+// the final replay clock, the emitted event stream, and all final state.
+// Any drift the specialized loop introduces (ordering, port
+// serialization, counter accounting) surfaces as a "batch:" divergence.
+func diffBatched(cfg nurapid.Config, m *cacti.Model, seq []Access,
+	fast *nurapid.Cache, fastMem *memsys.Memory, fastRec *recorder,
+	fastResults []memsys.AccessResult, fastEnd int64) *Divergence {
+	batchMem := memsys.NewMemory(cfg.BlockBytes)
+	batch := nurapid.MustNew(cfg, m, batchMem)
+	batchRec := &recorder{}
+	batch.SetProbe(batchRec)
+
+	reqs := make([]memsys.Request, len(seq))
+	for i, a := range seq {
+		reqs[i] = memsys.Request{Addr: a.Addr, Write: a.Write, Gap: a.Gap}
+	}
+	out := make([]memsys.AccessResult, len(seq))
+	end := memsys.AccessMany(batch, 0, reqs, out)
+
+	for i := range out {
+		if out[i] != fastResults[i] {
+			return &Divergence{Index: i, Field: "batch:result",
+				Fast: fmt.Sprintf("%+v", fastResults[i]), Ref: fmt.Sprintf("%+v", out[i])}
+		}
+	}
+	if end != fastEnd {
+		return &Divergence{Index: -1, Field: "batch:end_clock",
+			Fast: fmt.Sprint(fastEnd), Ref: fmt.Sprint(end)}
+	}
+	for i := 0; i < len(fastRec.events) || i < len(batchRec.events); i++ {
+		var fe, be obs.Event
+		feOK, beOK := i < len(fastRec.events), i < len(batchRec.events)
+		if feOK {
+			fe = fastRec.events[i]
+		}
+		if beOK {
+			be = batchRec.events[i]
+		}
+		if !feOK || !beOK || fe != be {
+			return &Divergence{Index: -1, Field: fmt.Sprintf("batch:event %d", i),
+				Fast: renderEvent(fe, feOK), Ref: renderEvent(be, beOK)}
+		}
+	}
+	if d := diffCounters(fast.Counters(), batch.Counters()); d != nil {
+		d.Field = "batch:" + d.Field
+		return d
+	}
+	if d := diffKVs("batch:snapshot", fast.Snapshot(), batch.Snapshot()); d != nil {
+		return d
+	}
+	if fast.EnergyNJ() != batch.EnergyNJ() {
+		return &Divergence{Index: -1, Field: "batch:energy_nj",
+			Fast: fmt.Sprint(fast.EnergyNJ()), Ref: fmt.Sprint(batch.EnergyNJ())}
+	}
+	fo, bo := fast.GroupOccupancy(), batch.GroupOccupancy()
+	for g := range fo {
+		if fo[g] != bo[g] {
+			return &Divergence{Index: -1, Field: fmt.Sprintf("batch:occupancy dgroup %d", g),
+				Fast: fmt.Sprint(fo[g]), Ref: fmt.Sprint(bo[g])}
+		}
+	}
+	if fastMem.Accesses != batchMem.Accesses || fastMem.Writes != batchMem.Writes {
+		return &Divergence{Index: -1, Field: "batch:memory traffic",
+			Fast: fmt.Sprintf("accesses=%d writes=%d", fastMem.Accesses, fastMem.Writes),
+			Ref:  fmt.Sprintf("accesses=%d writes=%d", batchMem.Accesses, batchMem.Writes)}
+	}
+	return nil
 }
 
 func renderEvent(e obs.Event, ok bool) string {

@@ -38,8 +38,18 @@ type Uniform struct {
 	mem       *memsys.Memory
 	dist      *stats.Distribution
 	ctrs      stats.Counters
+	hot       uniformHot
 	energy    float64
 	probe     obs.Probe
+}
+
+// uniformHot holds the per-access counters as plain fields; Counters()
+// materializes them with the same presence semantics as Inc (a name
+// exists iff its count is non-zero).
+type uniformHot struct {
+	accesses   int64
+	misses     int64
+	writebacks int64
 }
 
 // UniformConfig parameterizes a Uniform cache.
@@ -102,7 +112,7 @@ func (u *Uniform) SetProbe(p obs.Probe) { u.probe = p }
 // Miss followed by Evict (when a valid victim was displaced) and Place.
 func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := u.port.Acquire(now, u.occupancy)
-	u.ctrs.Inc("accesses")
+	u.hot.accesses++
 	if u.probe != nil {
 		u.probe.Emit(obs.Access(now, addr, write))
 	}
@@ -116,16 +126,16 @@ func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult
 		return memsys.AccessResult{Hit: true, DoneAt: start + u.hitLat, Group: 0}
 	}
 	u.dist.AddMiss()
-	u.ctrs.Inc("misses")
+	u.hot.misses++
 	if u.probe != nil {
 		u.probe.Emit(obs.Miss(now, addr))
 	}
-	if out.Evicted != nil {
+	if out.Evicted {
 		if u.probe != nil {
-			u.probe.Emit(obs.Evict(now, 0, out.Evicted.Dirty))
+			u.probe.Emit(obs.Evict(now, 0, out.Victim.Dirty))
 		}
-		if out.Evicted.Dirty {
-			u.ctrs.Inc("writebacks")
+		if out.Victim.Dirty {
+			u.hot.writebacks++
 			u.energy += u.accessNJ // victim read for writeback
 			u.mem.Write()
 		}
@@ -145,8 +155,32 @@ func (u *Uniform) Distribution() *stats.Distribution { return u.dist }
 // EnergyNJ implements memsys.LowerLevel.
 func (u *Uniform) EnergyNJ() float64 { return u.energy }
 
-// Counters implements memsys.LowerLevel.
-func (u *Uniform) Counters() *stats.Counters { return &u.ctrs }
+// Counters implements memsys.LowerLevel. Hot-path counts are
+// materialized from plain fields; names appear only when non-zero.
+func (u *Uniform) Counters() *stats.Counters {
+	if u.hot.accesses != 0 {
+		u.ctrs.Set("accesses", u.hot.accesses)
+	}
+	if u.hot.misses != 0 {
+		u.ctrs.Set("misses", u.hot.misses)
+	}
+	if u.hot.writebacks != 0 {
+		u.ctrs.Set("writebacks", u.hot.writebacks)
+	}
+	return &u.ctrs
+}
+
+// AccessMany implements memsys.BatchAccessor.
+func (u *Uniform) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+	for i := range reqs {
+		r := u.Access(now, reqs[i].Addr, reqs[i].Write)
+		if out != nil {
+			out[i] = r
+		}
+		now = r.DoneAt + reqs[i].Gap
+	}
+	return now
+}
 
 // Cache exposes the underlying cache (tests, occupancy checks).
 func (u *Uniform) Cache() *cache.Cache { return u.c }
@@ -161,11 +195,25 @@ type Hierarchy struct {
 	l2Tag, l3Tag   int64
 	l2Port, l3Port memsys.Port
 	l2NJ, l3NJ     float64
+	l3Idx          cache.Index
 	mem            *memsys.Memory
 	dist           *stats.Distribution
 	ctrs           stats.Counters
+	hot            hierarchyHot
 	energy         float64
 	probe          obs.Probe
+}
+
+// hierarchyHot holds the per-access counters as plain fields; Counters()
+// materializes them with the same presence semantics as Inc (a name
+// exists iff its count is non-zero).
+type hierarchyHot struct {
+	accesses     int64
+	l2Misses     int64
+	l3Hits       int64
+	misses       int64
+	l2Writebacks int64
+	l3Writebacks int64
 }
 
 // NewHierarchy builds the base L2/L3 configuration with energies from the
@@ -176,6 +224,7 @@ func NewHierarchy(m *cacti.Model, mem *memsys.Memory) *Hierarchy {
 	return &Hierarchy{
 		l2:    l2,
 		l3:    l3,
+		l3Idx: l3.Array().Index(),
 		l2Lat: 11, l3Lat: 43,
 		l2Tag: 6, l3Tag: int64(m.TagCycles),
 		l2NJ: m.UniformCacheNJ(1),
@@ -201,7 +250,7 @@ func (h *Hierarchy) SetProbe(p obs.Probe) { h.probe = p }
 // Evict, Place on the outermost miss path.
 func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := h.l2Port.Acquire(now, 4)
-	h.ctrs.Inc("accesses")
+	h.hot.accesses++
 	if h.probe != nil {
 		h.probe.Emit(obs.Access(now, addr, write))
 	}
@@ -214,13 +263,13 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 		}
 		return memsys.AccessResult{Hit: true, DoneAt: start + h.l2Lat, Group: 0}
 	}
-	h.ctrs.Inc("l2_misses")
-	if o2.Evicted != nil {
+	h.hot.l2Misses++
+	if o2.Evicted {
 		if h.probe != nil {
-			h.probe.Emit(obs.Evict(now, 0, o2.Evicted.Dirty))
+			h.probe.Emit(obs.Evict(now, 0, o2.Victim.Dirty))
 		}
-		if o2.Evicted.Dirty {
-			h.writebackToL3(o2.Evicted.Addr)
+		if o2.Victim.Dirty {
+			h.writebackToL3(o2.Victim.Addr)
 		}
 	}
 	h.energy += tagOnlyNJ // L2 miss discovered in its tags
@@ -234,23 +283,23 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 	if o3.Hit {
 		h.dist.AddHit(1)
 		h.energy += h.l3NJ
-		h.ctrs.Inc("l3_hits")
+		h.hot.l3Hits++
 		if h.probe != nil {
 			h.probe.Emit(obs.Hit(now, 1, start3+h.l3Lat-now))
 		}
 		return memsys.AccessResult{Hit: true, DoneAt: start3 + h.l3Lat, Group: 1}
 	}
 	h.dist.AddMiss()
-	h.ctrs.Inc("misses")
+	h.hot.misses++
 	if h.probe != nil {
 		h.probe.Emit(obs.Miss(now, addr))
 	}
-	if o3.Evicted != nil {
+	if o3.Evicted {
 		if h.probe != nil {
-			h.probe.Emit(obs.Evict(now, 1, o3.Evicted.Dirty))
+			h.probe.Emit(obs.Evict(now, 1, o3.Victim.Dirty))
 		}
-		if o3.Evicted.Dirty {
-			h.ctrs.Inc("l3_writebacks")
+		if o3.Victim.Dirty {
+			h.hot.l3Writebacks++
 			h.energy += h.l3NJ
 			h.mem.Write()
 		}
@@ -275,10 +324,10 @@ func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResu
 // influence L3 replacement. TestWritebackToL3DoesNotRefreshRecency pins
 // this choice.
 func (h *Hierarchy) writebackToL3(addr uint64) {
-	h.ctrs.Inc("l2_writebacks")
+	h.hot.l2Writebacks++
 	h.energy += h.l2NJ // victim read
-	set := h.l3.Geometry().SetIndex(addr)
-	if way, hit := h.l3.Array().Lookup(addr); hit {
+	set := h.l3Idx.SetIndex(addr)
+	if way, hit := h.l3.Array().FindTag(set, h.l3Idx.Tag(addr)); hit {
 		h.l3.Array().Line(set, way).Dirty = true
 		h.energy += h.l3NJ
 		return
@@ -292,11 +341,44 @@ func (h *Hierarchy) Distribution() *stats.Distribution { return h.dist }
 // EnergyNJ implements memsys.LowerLevel.
 func (h *Hierarchy) EnergyNJ() float64 { return h.energy }
 
-// Counters implements memsys.LowerLevel.
-func (h *Hierarchy) Counters() *stats.Counters { return &h.ctrs }
+// Counters implements memsys.LowerLevel. Hot-path counts are
+// materialized from plain fields; names appear only when non-zero.
+func (h *Hierarchy) Counters() *stats.Counters {
+	set := func(name string, v int64) {
+		if v != 0 {
+			h.ctrs.Set(name, v)
+		}
+	}
+	set("accesses", h.hot.accesses)
+	set("l2_misses", h.hot.l2Misses)
+	set("l3_hits", h.hot.l3Hits)
+	set("misses", h.hot.misses)
+	set("l2_writebacks", h.hot.l2Writebacks)
+	set("l3_writebacks", h.hot.l3Writebacks)
+	return &h.ctrs
+}
+
+// AccessMany implements memsys.BatchAccessor.
+func (h *Hierarchy) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+	for i := range reqs {
+		r := h.Access(now, reqs[i].Addr, reqs[i].Write)
+		if out != nil {
+			out[i] = r
+		}
+		now = r.DoneAt + reqs[i].Gap
+	}
+	return now
+}
 
 // L2 exposes the first level (tests).
 func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 
 // L3 exposes the second level (tests).
 func (h *Hierarchy) L3() *cache.Cache { return h.l3 }
+
+var (
+	_ memsys.LowerLevel    = (*Uniform)(nil)
+	_ memsys.BatchAccessor = (*Uniform)(nil)
+	_ memsys.LowerLevel    = (*Hierarchy)(nil)
+	_ memsys.BatchAccessor = (*Hierarchy)(nil)
+)
