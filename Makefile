@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-runner lint fmt bench bench-runner bench-core obs-bench audit diff-fuzz diff-fuzz-long ci
+.PHONY: build test race race-runner lint escape-rebaseline fmt bench bench-runner bench-core obs-bench audit diff-fuzz diff-fuzz-long ci
 
 build:
 	$(GO) build ./...
@@ -21,14 +21,22 @@ race:
 race-runner:
 	$(GO) test -race -count=1 -run 'TestParallel|TestSingleflight|TestPrefetch|TestSerialPrefetch|TestTextObserver|TestObserver|TestClock|TestProbe|TestTrace' ./internal/sim/
 
-# lint = custom analyzers (determinism, panicstyle, statsreg) + go vet,
-# via the multichecker, plus a gofmt cleanliness check.
+# lint = custom analyzers (determinism, panicstyle, statsreg, hotpath,
+# probeorder, snapshotdet + the directives meta-check) + go vet via the
+# multichecker, the compiler escape-analysis gate against the committed
+# lint_escape_baseline.json, and a gofmt cleanliness check.
 lint:
 	$(GO) run ./cmd/nurapidlint ./...
+	$(GO) run ./cmd/nurapidlint -escapecheck ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# escape-rebaseline: refresh lint_escape_baseline.json after a deliberate
+# hot-path change; review and commit the diff.
+escape-rebaseline:
+	$(GO) run ./cmd/nurapidlint -escapecheck -rebaseline ./...
 
 fmt:
 	gofmt -w .

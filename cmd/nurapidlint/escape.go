@@ -1,0 +1,272 @@
+// escape.go implements the -escapecheck mode: the compiler-backed
+// counterpart to the static hotpath analyzer. The static analyzer
+// forbids allocation by construct; this gate asks the compiler itself
+// (`go build -gcflags='-m -m'`) what actually escapes to the heap or
+// fails to inline inside the //nurapid:hotpath closure, and diffs that
+// against the committed per-function allowlist lint_escape_baseline.json.
+// Anything the baseline does not record — a new heap escape, a lost
+// inline — fails the gate with a readable per-function diff; anything
+// the baseline records that no longer happens fails too, so the
+// baseline can never drift from reality. -rebaseline rewrites the file
+// from current compiler output.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"nurapid/internal/lint"
+)
+
+// baselineFile is the committed allowlist, relative to the module root.
+const baselineFile = "lint_escape_baseline.json"
+
+// escapeReport maps a hot function's key (pkgpath.Recv.Name) to the
+// normalized compiler diagnostics observed inside its body, sorted.
+// Lines are recorded as offsets from the function's first line so that
+// edits elsewhere in the file do not churn the baseline.
+type escapeReport map[string][]string
+
+// diagLine matches one compiler diagnostic: file:line:col: message.
+// The -m -m flow-explanation lines share the shape but are filtered
+// out by keepDiag.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// keepDiag reports whether a compiler message belongs to the stable
+// subset the gate tracks, and returns it normalized. "cannot inline"
+// reasons (cost budgets, compiler heuristics) vary across toolchains,
+// so only the function name is kept.
+func keepDiag(msg string) (string, bool) {
+	switch {
+	case strings.Contains(msg, "escapes to heap"),
+		strings.Contains(msg, "moved to heap"):
+		// -m -m repeats each escape as a "...:" header over its flow
+		// explanation; trimming the colon collapses the duplicate.
+		return strings.TrimSuffix(msg, ":"), true
+	case strings.HasPrefix(msg, "cannot inline "):
+		if i := strings.Index(msg, ":"); i >= 0 {
+			msg = msg[:i]
+		}
+		return msg, true
+	}
+	return "", false
+}
+
+// runEscapeCheck executes the gate and returns the process exit code.
+func runEscapeCheck(cwd string, pkgs []*lint.Package, patterns []string, rebaseline bool) int {
+	hot := lint.HotPathClosure(pkgs)
+	if len(hot) == 0 {
+		fmt.Fprintln(os.Stderr, "nurapidlint: -escapecheck found no //nurapid:hotpath functions; run it over the whole module (./...)")
+		return 2
+	}
+
+	diags, err := compilerDiags(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nurapidlint:", err)
+		return 2
+	}
+	current := attribute(cwd, hot, diags)
+
+	path := filepath.Join(cwd, baselineFile)
+	if rebaseline {
+		if err := writeBaseline(path, current); err != nil {
+			fmt.Fprintln(os.Stderr, "nurapidlint:", err)
+			return 2
+		}
+		fmt.Printf("escapecheck: wrote %s (%d hot functions, %d with compiler findings)\n",
+			baselineFile, len(hot), len(current))
+		return 0
+	}
+
+	baseline, err := readBaseline(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nurapidlint: %v\n  (run `go run ./cmd/nurapidlint -escapecheck -rebaseline ./...` to create it)\n", err)
+		return 1
+	}
+	added, removed := diffReports(baseline, current)
+	if len(added) == 0 && len(removed) == 0 {
+		fmt.Printf("escapecheck: %d hot functions match %s\n", len(hot), baselineFile)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "escapecheck: compiler escape analysis drifted from %s\n", baselineFile)
+	printDrift(os.Stderr, "new (not in baseline)", added)
+	printDrift(os.Stderr, "gone (baseline records them, compiler no longer reports them)", removed)
+	fmt.Fprintln(os.Stderr, "escapecheck: fix the hot path, or re-baseline deliberately with `go run ./cmd/nurapidlint -escapecheck -rebaseline ./...`")
+	return 1
+}
+
+// compilerDiag is one parsed file:line:col diagnostic.
+type compilerDiag struct {
+	file string
+	line int
+	msg  string
+}
+
+// compilerDiags builds the module with escape-analysis diagnostics
+// enabled and parses them. A warm build cache makes the compiler skip
+// packages entirely (no diagnostics printed), so a run that parses
+// nothing retries with -a to force recompilation.
+func compilerDiags(cwd string, patterns []string) ([]compilerDiag, error) {
+	out, err := buildWithFlags(cwd, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	diags := parseCompilerOutput(out)
+	if len(diags) == 0 {
+		if out, err = buildWithFlags(cwd, patterns, true); err != nil {
+			return nil, err
+		}
+		diags = parseCompilerOutput(out)
+	}
+	return diags, nil
+}
+
+func buildWithFlags(cwd string, patterns []string, force bool) (string, error) {
+	args := []string{"build", "-gcflags=-m -m"}
+	if force {
+		args = append(args, "-a")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cwd
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, buf.String())
+	}
+	return buf.String(), nil
+}
+
+func parseCompilerOutput(out string) []compilerDiag {
+	var diags []compilerDiag
+	for _, line := range strings.Split(out, "\n") {
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg, ok := keepDiag(m[4])
+		if !ok {
+			continue
+		}
+		var ln int
+		fmt.Sscanf(m[2], "%d", &ln)
+		diags = append(diags, compilerDiag{file: m[1], line: ln, msg: msg})
+	}
+	return diags
+}
+
+// attribute joins compiler diagnostics against the hot functions' source
+// spans: a diagnostic inside [StartLine, EndLine] of a hot function's
+// file belongs to that function. Diagnostics outside every hot span —
+// cold code, cmd packages — are ignored; that is the point of the gate.
+func attribute(cwd string, hot []lint.HotFunc, diags []compilerDiag) escapeReport {
+	type span struct {
+		key        string
+		start, end int
+	}
+	byFile := make(map[string][]span)
+	for _, h := range hot {
+		byFile[h.File] = append(byFile[h.File], span{key: h.Key, start: h.StartLine, end: h.EndLine})
+	}
+	seen := make(map[string]bool)
+	report := make(escapeReport)
+	for _, d := range diags {
+		file := d.file
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(cwd, file)
+		}
+		file = filepath.Clean(file)
+		for _, s := range byFile[file] {
+			if d.line >= s.start && d.line <= s.end {
+				entry := fmt.Sprintf("+%d: %s", d.line-s.start, d.msg)
+				if !seen[s.key+"\x00"+entry] {
+					seen[s.key+"\x00"+entry] = true
+					report[s.key] = append(report[s.key], entry)
+				}
+				break
+			}
+		}
+	}
+	for key, msgs := range report {
+		sort.Strings(msgs)
+		report[key] = msgs
+	}
+	return report
+}
+
+func writeBaseline(path string, report escapeReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBaseline(path string) (escapeReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %v", baselineFile, err)
+	}
+	var report escapeReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", baselineFile, err)
+	}
+	return report, nil
+}
+
+// diffReports returns, per function key, the entries present only in
+// current (added) and only in baseline (removed).
+func diffReports(baseline, current escapeReport) (added, removed map[string][]string) {
+	added, removed = make(map[string][]string), make(map[string][]string)
+	keys := make(map[string]bool)
+	for k := range baseline {
+		keys[k] = true
+	}
+	for k := range current {
+		keys[k] = true
+	}
+	for k := range keys {
+		have := make(map[string]bool)
+		for _, m := range baseline[k] {
+			have[m] = true
+		}
+		want := make(map[string]bool)
+		for _, m := range current[k] {
+			want[m] = true
+			if !have[m] {
+				added[k] = append(added[k], m)
+			}
+		}
+		for _, m := range baseline[k] {
+			if !want[m] {
+				removed[k] = append(removed[k], m)
+			}
+		}
+	}
+	return added, removed
+}
+
+func printDrift(w *os.File, header string, drift map[string][]string) {
+	if len(drift) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %s:\n", header)
+	keys := make([]string, 0, len(drift))
+	for k := range drift {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, m := range drift[k] {
+			fmt.Fprintf(w, "    %s %s\n", k, m)
+		}
+	}
+}

@@ -65,6 +65,8 @@ func (a *Array) Index() Index { return a.idx }
 
 // Lookup finds addr in its set. On a hit it returns the way and true; it
 // does not update recency (callers decide whether a probe counts as use).
+//
+//nurapid:hotpath
 func (a *Array) Lookup(addr Addr) (way int, hit bool) {
 	block := addr >> a.idx.blockShift
 	set := int(block & a.idx.setMask)
@@ -80,6 +82,8 @@ func (a *Array) Lookup(addr Addr) (way int, hit bool) {
 
 // FindTag locates tag within set — Lookup with the address math hoisted,
 // for owners that already computed set and tag from a shared Index.
+//
+//nurapid:hotpath
 func (a *Array) FindTag(set int, tag uint64) (way int, hit bool) {
 	base := set * a.idx.assoc
 	for w := 0; w < a.idx.assoc; w++ {
@@ -91,6 +95,8 @@ func (a *Array) FindTag(set int, tag uint64) (way int, hit bool) {
 }
 
 // Touch records a use of (set, way) for replacement.
+//
+//nurapid:hotpath
 func (a *Array) Touch(set, way int) {
 	if a.lru != nil {
 		a.lru.Touch(set, way)
@@ -100,6 +106,8 @@ func (a *Array) Touch(set, way int) {
 }
 
 // VictimWay picks the way to evict from set, preferring invalid ways.
+//
+//nurapid:hotpath
 func (a *Array) VictimWay(set int) int {
 	base := set * a.idx.assoc
 	for w := 0; w < a.idx.assoc; w++ {
@@ -114,6 +122,8 @@ func (a *Array) VictimWay(set int) int {
 }
 
 // Line returns the entry at (set, way) for inspection or mutation.
+//
+//nurapid:hotpath
 func (a *Array) Line(set, way int) *Line {
 	if set < 0 || set >= a.idx.sets || way < 0 || way >= a.idx.assoc {
 		panic(fmt.Sprintf("cache: line (%d,%d) out of range", set, way))
@@ -123,6 +133,8 @@ func (a *Array) Line(set, way int) *Line {
 
 // Fill installs addr into (set, way), marking it valid and clean, and
 // touches it. It returns the line for further decoration (Aux, Dirty).
+//
+//nurapid:hotpath
 func (a *Array) Fill(addr Addr, way int) *Line {
 	block := addr >> a.idx.blockShift
 	set := int(block & a.idx.setMask)
@@ -202,10 +214,14 @@ func MustNewCache(geo Geometry, policy ReplPolicy, rng *mathx.RNG) *Cache {
 func (c *Cache) Geometry() Geometry { return c.arr.Geometry() }
 
 // Array exposes the underlying tag array (for tests and metrics).
+//
+//nurapid:hotpath
 func (c *Cache) Array() *Array { return c.arr }
 
 // Access performs a read or write of addr with allocate-on-miss and
 // writeback of dirty victims.
+//
+//nurapid:hotpath
 func (c *Cache) Access(addr Addr, write bool) Outcome {
 	c.Accesses++
 	idx := &c.arr.idx

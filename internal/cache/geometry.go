@@ -112,10 +112,16 @@ func (ix Index) NumSets() int { return ix.sets }
 func (ix Index) Assoc() int { return ix.assoc }
 
 // BlockAddr returns the block-granular address.
+//
+//nurapid:hotpath
 func (ix Index) BlockAddr(a Addr) Addr { return a >> ix.blockShift }
 
 // SetIndex returns the set that address a maps to.
+//
+//nurapid:hotpath
 func (ix Index) SetIndex(a Addr) int { return int((a >> ix.blockShift) & ix.setMask) }
 
 // Tag returns the tag of address a.
+//
+//nurapid:hotpath
 func (ix Index) Tag(a Addr) uint64 { return (a >> ix.blockShift) >> ix.setShift }

@@ -35,8 +35,10 @@ func (p ReplPolicy) String() string {
 // replacer tracks recency for one tag array and picks victims.
 type replacer interface {
 	// Touch records an access to (set, way).
+	//nurapid:hotpath
 	Touch(set, way int)
 	// Victim returns the way to evict from set.
+	//nurapid:hotpath
 	Victim(set int) int
 }
 

@@ -1,0 +1,214 @@
+// Cross-package call-graph facility for whole-program analyzers.
+//
+// Each loaded Package is typechecked independently with its own FileSet
+// and importer, so *types.Func identity does not hold across packages:
+// internal/nurapid's view of cache.Array.FindTag is a different object
+// from internal/cache's own. Functions are therefore keyed by a stable
+// string — "pkgpath.Func" or "pkgpath.Recv.Method" — that both sides
+// compute identically, and the graph maps keys back to the declaring
+// package's AST when (and only when) that package was loaded.
+//
+// The annotation convention enforced on top of this graph:
+//
+//	//nurapid:hotpath   — the function (or interface method) is on the
+//	                      simulator's per-access hot path: reachable
+//	                      code must not allocate, and every call edge
+//	                      leaving it must land on another annotated
+//	                      function. Placing the marker on an interface
+//	                      method declaration blesses dynamic calls
+//	                      through that method; implementations are NOT
+//	                      traversed (probes are trusted frontiers).
+//	//nurapid:coldpath  — the function is deliberately off the hot path
+//	                      (audit/oracle code). Hot functions may call it
+//	                      only never; the marker exists so entry points
+//	                      with hot-path-shaped signatures are explicitly
+//	                      classified rather than silently unannotated.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Function marks recognized by the call graph.
+const (
+	markHot  = "hotpath"
+	markCold = "coldpath"
+)
+
+// progFunc is one function declaration somewhere in the loaded program.
+type progFunc struct {
+	key  string
+	pkg  *Package
+	decl *ast.FuncDecl
+	mark string // "", markHot, or markCold
+}
+
+// callGraph indexes every function declared in the loaded packages plus
+// the hot/cold marks, including marks on interface method declarations
+// (which have no FuncDecl).
+type callGraph struct {
+	funcs map[string]*progFunc
+	marks map[string]string
+}
+
+// funcKey builds the stable cross-package key for fn, or "" when fn has
+// no package (universe members like error.Error).
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		return fn.Pkg().Path() + "." + recvTypeName(recv.Type()) + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// recvTypeName names a receiver type, stripping pointers.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	if iface, ok := t.(*types.Interface); ok {
+		_ = iface
+		return "interface"
+	}
+	return t.String()
+}
+
+// markOf extracts the //nurapid:hotpath or //nurapid:coldpath marker
+// from a doc comment group.
+func markOf(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		switch text {
+		case "nurapid:hotpath":
+			return markHot
+		case "nurapid:coldpath":
+			return markCold
+		}
+	}
+	return ""
+}
+
+// buildCallGraph indexes every declared function and annotation in pkgs.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	cg := &callGraph{
+		funcs: make(map[string]*progFunc),
+		marks: make(map[string]string),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					key := funcKey(obj)
+					if key == "" {
+						continue
+					}
+					pf := &progFunc{key: key, pkg: pkg, decl: d, mark: markOf(d.Doc)}
+					cg.funcs[key] = pf
+					if pf.mark != "" {
+						cg.marks[key] = pf.mark
+					}
+				case *ast.GenDecl:
+					cg.indexInterfaceMarks(pkg, d)
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// indexInterfaceMarks records //nurapid:hotpath marks on interface
+// method declarations, which live on type-spec fields rather than
+// FuncDecls.
+func (cg *callGraph) indexInterfaceMarks(pkg *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		iface, ok := ts.Type.(*ast.InterfaceType)
+		if !ok {
+			continue
+		}
+		for _, field := range iface.Methods.List {
+			mark := markOf(field.Doc)
+			if mark == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				fn, ok := pkg.Info.Defs[name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if key := funcKey(fn); key != "" {
+					cg.marks[key] = mark
+				}
+			}
+		}
+	}
+}
+
+// markFor returns the annotation on the function identified by key.
+func (cg *callGraph) markFor(key string) string {
+	if m, ok := cg.marks[key]; ok {
+		return m
+	}
+	if pf, ok := cg.funcs[key]; ok {
+		return pf.mark
+	}
+	return ""
+}
+
+// staticCallee resolves a call expression to its *types.Func when the
+// call is static (direct function or method call, including calls
+// through interfaces, which resolve to the interface method). Returns
+// nil for dynamic calls through function values, builtins, and type
+// conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion, not a call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin being called ("append",
+// "make", ...), or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -50,10 +50,20 @@ var emittingCalls = map[string]bool{
 
 func runDeterminism(pass *Pass) error {
 	for _, file := range pass.Files {
+		// Idents consumed as the Sel of a selector are handled (with
+		// package qualification) by checkForbiddenRef; the bare-ident
+		// path below is for dot-imported references, which have no
+		// selector at all.
+		handled := make(map[*ast.Ident]bool)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.SelectorExpr:
+				handled[node.Sel] = true
 				checkForbiddenRef(pass, node)
+			case *ast.Ident:
+				if !handled[node] {
+					checkForbiddenIdent(pass, node)
+				}
 			case *ast.RangeStmt:
 				checkMapRange(pass, node)
 			}
@@ -99,6 +109,43 @@ func checkForbiddenRef(pass *Pass, sel *ast.SelectorExpr) {
 			return
 		}
 		pass.Reportf(sel.Pos(),
+			"rand.%s uses the process-global generator; use a seeded instance (mathx.RNG or rand.New)", name)
+	}
+}
+
+// checkForbiddenIdent is checkForbiddenRef for unqualified references:
+// a dot import (`import . "math/rand"`) makes the forbidden functions
+// reachable as bare idents, with no SelectorExpr for the selector path
+// to see. The same rules apply whether the function is called or taken
+// as a value — a value use (passed, aliased, stored) draws from the
+// global generator at every later call site, which is exactly the
+// satellite-reported hole.
+func checkForbiddenIdent(pass *Pass, id *ast.Ident) {
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Methods ((*Rand).Intn on a seeded instance) and types are fine;
+	// only package-level functions touch global state.
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "time":
+		if clockFuncs[name] {
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock; simulations must be reproducible per seed", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if seededRandFuncs[name] {
+			return
+		}
+		pass.Reportf(id.Pos(),
 			"rand.%s uses the process-global generator; use a seeded instance (mathx.RNG or rand.New)", name)
 	}
 }

@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotPath enforces PR 5's zero-allocation contract statically: starting
+// from every function annotated //nurapid:hotpath, it walks the
+// transitive call graph and reports (1) heap-allocating constructs —
+// closures, append outside the owned-scratch-buffer convention, map
+// literals and operations, slice literals, make/new/&composite,
+// interface boxing at call sites, implicit variadic slices, string
+// concatenation and conversions, fmt calls, go/defer — and (2) call
+// edges that leave the annotated region: a call into a module function
+// that carries neither //nurapid:hotpath nor //nurapid:coldpath, or a
+// dynamic call through an interface method whose declaration is not
+// annotated. The frontier therefore stays explicit: extending the hot
+// path means annotating the callee (and inheriting its obligations),
+// and stepping off it means writing //nurapid:coldpath where a reviewer
+// can see it.
+//
+// Escape hatches by design: arguments of panic(...) are exempt (loud
+// invariant panics may format freely — they end the simulation), and
+// stdlib calls other than fmt are allowed silently; real allocations
+// hiding behind them are the escapecheck gate's job (cmd/nurapidlint
+// -escapecheck), which reads the compiler's own escape analysis.
+//
+// Because the analyzer is whole-program, run it over the full module
+// ("./..."): on a partial package set, cross-package callees look
+// external and frontier violations go unreported.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid heap-allocating constructs and unannotated call edges in " +
+		"code reachable from //nurapid:hotpath roots",
+	RunProgram: runHotPath,
+}
+
+func runHotPath(prog *Program) error {
+	hotTraverse(prog, prog.Pkgs)
+	return nil
+}
+
+// hotTraverse walks the call graph from every hot root, reporting
+// through prog when non-nil (silent closure computation otherwise),
+// and returns the visited closure.
+func hotTraverse(prog *Program, pkgs []*Package) map[string]*progFunc {
+	cg := buildCallGraph(pkgs)
+	visited := make(map[string]*progFunc)
+	var queue []*progFunc
+	enqueue := func(pf *progFunc) {
+		if visited[pf.key] == nil && pf.decl.Body != nil {
+			visited[pf.key] = pf
+			queue = append(queue, pf)
+		}
+	}
+	for _, pf := range cg.funcs {
+		if pf.mark == markHot {
+			enqueue(pf)
+		}
+	}
+	for len(queue) > 0 {
+		pf := queue[0]
+		queue = queue[1:]
+		w := &hotWalker{prog: prog, cg: cg, pf: pf, enqueue: enqueue}
+		ast.Inspect(pf.decl.Body, w.visit)
+	}
+	return visited
+}
+
+// A HotFunc locates one function of the hot-path closure in the source
+// tree, for tools that join the closure against compiler output
+// (cmd/nurapidlint -escapecheck).
+type HotFunc struct {
+	Key       string
+	File      string
+	StartLine int
+	EndLine   int
+}
+
+// HotPathClosure computes the transitive //nurapid:hotpath closure of
+// pkgs without reporting diagnostics.
+func HotPathClosure(pkgs []*Package) []HotFunc {
+	visited := hotTraverse(nil, pkgs)
+	out := make([]HotFunc, 0, len(visited))
+	for _, pf := range visited {
+		start := pf.pkg.Fset.Position(pf.decl.Pos())
+		end := pf.pkg.Fset.Position(pf.decl.End())
+		out = append(out, HotFunc{
+			Key:       pf.key,
+			File:      start.Filename,
+			StartLine: start.Line,
+			EndLine:   end.Line,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// hotWalker scans one hot function's body for allocating constructs and
+// call edges.
+type hotWalker struct {
+	prog    *Program
+	cg      *callGraph
+	pf      *progFunc
+	enqueue func(*progFunc)
+}
+
+func (w *hotWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.prog == nil {
+		return // silent closure computation (HotPathClosure)
+	}
+	w.prog.Reportf(w.pf.pkg, pos, format, args...)
+}
+
+func (w *hotWalker) typeOf(e ast.Expr) types.Type {
+	return w.pf.pkg.Info.TypeOf(e)
+}
+
+func (w *hotWalker) isMap(e ast.Expr) bool {
+	t := w.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// visit is the ast.Inspect callback; returning false prunes the subtree.
+func (w *hotWalker) visit(n ast.Node) bool {
+	switch node := n.(type) {
+	case *ast.FuncLit:
+		w.reportf(node.Pos(), "function %s: closure literal allocates on the hot path", w.pf.key)
+		return false
+	case *ast.CallExpr:
+		return w.visitCall(node)
+	case *ast.CompositeLit:
+		t := w.typeOf(node)
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.reportf(node.Pos(), "function %s: map literal allocates on the hot path", w.pf.key)
+			case *types.Slice:
+				w.reportf(node.Pos(), "function %s: slice literal allocates on the hot path", w.pf.key)
+			}
+		}
+	case *ast.UnaryExpr:
+		if node.Op == token.AND {
+			if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+				w.reportf(node.Pos(), "function %s: address of composite literal allocates on the hot path", w.pf.key)
+				return false
+			}
+		}
+	case *ast.IndexExpr:
+		if w.isMap(node.X) {
+			w.reportf(node.Pos(), "function %s: map access on the hot path (map[...] lookups hash and may allocate on write)", w.pf.key)
+		}
+	case *ast.RangeStmt:
+		if w.isMap(node.X) {
+			w.reportf(node.X.Pos(), "function %s: map iteration on the hot path (randomized order, hidden hashing)", w.pf.key)
+		}
+	case *ast.BinaryExpr:
+		if node.Op == token.ADD {
+			if t := w.typeOf(node.X); t != nil && isString(t) {
+				w.reportf(node.Pos(), "function %s: string concatenation allocates on the hot path", w.pf.key)
+			}
+		}
+	case *ast.AssignStmt:
+		if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 {
+			if t := w.typeOf(node.Lhs[0]); t != nil && isString(t) {
+				w.reportf(node.Pos(), "function %s: string concatenation allocates on the hot path", w.pf.key)
+			}
+		}
+	case *ast.GoStmt:
+		w.reportf(node.Pos(), "function %s: goroutine launch on the hot path", w.pf.key)
+		return false
+	case *ast.DeferStmt:
+		w.reportf(node.Pos(), "function %s: defer on the hot path (defers cost and may allocate)", w.pf.key)
+		return false
+	case *ast.SendStmt:
+		w.reportf(node.Pos(), "function %s: channel send on the hot path", w.pf.key)
+	}
+	return true
+}
+
+// visitCall classifies one call expression: panic escape hatch, type
+// conversions, builtins, static calls (frontier + boxing), or dynamic
+// calls.
+func (w *hotWalker) visitCall(call *ast.CallExpr) bool {
+	info := w.pf.pkg.Info
+
+	// panic(...) ends the simulation; its arguments (typically
+	// fmt.Sprintf) are exempt from every hot-path rule.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return false
+		}
+	}
+
+	if isConversion(info, call) {
+		w.checkConversion(call)
+		return true
+	}
+
+	if b := builtinName(info, call); b != "" {
+		switch b {
+		case "append":
+			w.checkAppend(call)
+		case "make", "new":
+			w.reportf(call.Pos(), "function %s: %s allocates on the hot path", w.pf.key, b)
+		case "delete":
+			w.reportf(call.Pos(), "function %s: map delete on the hot path", w.pf.key)
+		}
+		return true
+	}
+
+	fn := staticCallee(info, call)
+	if fn == nil {
+		w.reportf(call.Pos(), "function %s: dynamic call through a function value on the hot path (not statically checkable; use a direct call or an annotated interface method)", w.pf.key)
+		return true
+	}
+	w.checkStaticCall(call, fn)
+	return true
+}
+
+func (w *hotWalker) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := w.typeOf(call.Fun)
+	from := w.typeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	if isString(to) && isByteOrRuneSlice(from) {
+		w.reportf(call.Pos(), "function %s: []byte-to-string conversion allocates on the hot path", w.pf.key)
+	}
+	if isByteOrRuneSlice(to) && isString(from) {
+		w.reportf(call.Pos(), "function %s: string-to-slice conversion allocates on the hot path", w.pf.key)
+	}
+}
+
+// checkAppend allows the owned-scratch-buffer convention — appending
+// into a struct field the enclosing object preallocated (typically
+// sliced to [:0] per access) — and reports everything else: an append
+// that outgrows its backing array reallocates.
+func (w *hotWalker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := ast.Unparen(call.Args[0])
+	for {
+		switch e := base.(type) {
+		case *ast.SliceExpr:
+			base = ast.Unparen(e.X)
+			continue
+		case *ast.IndexExpr:
+			base = ast.Unparen(e.X)
+			continue
+		}
+		break
+	}
+	if sel, ok := base.(*ast.SelectorExpr); ok {
+		if _, isField := w.pf.pkg.Info.Selections[sel]; isField {
+			return
+		}
+	}
+	w.reportf(call.Pos(), "function %s: append may grow a heap slice on the hot path; append into a preallocated struct-field scratch buffer instead", w.pf.key)
+}
+
+func (w *hotWalker) checkStaticCall(call *ast.CallExpr, fn *types.Func) {
+	key := funcKey(fn)
+	if key == "" {
+		return // universe members (error.Error)
+	}
+
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		w.reportf(call.Pos(), "function %s: fmt.%s allocates on the hot path (formatting is for panics and reports only)", w.pf.key, fn.Name())
+		return
+	}
+
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		if w.cg.markFor(key) != markHot {
+			w.reportf(call.Pos(), "function %s: call through interface method %s whose declaration is not annotated //nurapid:hotpath", w.pf.key, key)
+		}
+		// Implementations are trusted frontiers (probes may allocate
+		// when installed); they are never traversed.
+		w.checkBoxing(call, sig)
+		return
+	}
+
+	switch w.cg.markFor(key) {
+	case markCold:
+		// Deliberately off the fast path (audit/oracle branches).
+	case markHot:
+		if pf, ok := w.cg.funcs[key]; ok {
+			w.enqueue(pf)
+		}
+	default:
+		if pf, ok := w.cg.funcs[key]; ok {
+			// In-module callee. Same-package helpers are hot by
+			// contagion; cross-package edges must be annotated so the
+			// frontier stays visible at the declaration site.
+			if pf.pkg == w.pf.pkg {
+				w.enqueue(pf)
+			} else {
+				w.reportf(call.Pos(), "function %s: call into %s, which is not annotated //nurapid:hotpath (annotate it, or //nurapid:coldpath if deliberately off the fast path)", w.pf.key, key)
+			}
+		}
+		// Non-module (stdlib) calls other than fmt are allowed; the
+		// escapecheck gate covers allocations hiding behind them.
+	}
+	if sig != nil {
+		w.checkBoxing(call, sig)
+	}
+}
+
+// checkBoxing reports implicit interface conversions at the call site:
+// passing a concrete value where the parameter is an interface boxes it
+// (allocating unless the escape analysis gets lucky), and passing extra
+// arguments to a variadic function materializes a slice.
+func (w *hotWalker) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	nfixed := params.Len()
+	if sig.Variadic() {
+		nfixed--
+		if !call.Ellipsis.IsValid() && len(call.Args) > nfixed {
+			w.reportf(call.Pos(), "function %s: variadic call materializes an argument slice on the hot path", w.pf.key)
+		}
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < nfixed:
+			pt = params.At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := w.typeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			// Pointer-shaped values fit the interface data word
+			// directly; boxing them does not allocate.
+			continue
+		}
+		w.reportf(arg.Pos(), "function %s: passing %s as interface %s boxes the value on the hot path", w.pf.key, at, pt)
+	}
+}

@@ -1,7 +1,10 @@
 package lint
 
 import (
+	"go/ast"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -23,6 +26,101 @@ func checkGolden(t *testing.T, a *Analyzer, sub string) {
 func TestDeterminismGolden(t *testing.T) { checkGolden(t, Determinism, "determinism") }
 func TestPanicStyleGolden(t *testing.T)  { checkGolden(t, PanicStyle, "panicstyle") }
 func TestStatsRegGolden(t *testing.T)    { checkGolden(t, StatsReg, "statsreg") }
+func TestHotPathGolden(t *testing.T)     { checkGolden(t, HotPath, "hotpath") }
+func TestProbeOrderGolden(t *testing.T)  { checkGolden(t, ProbeOrder, "probeorder") }
+func TestSnapshotDetGolden(t *testing.T) { checkGolden(t, SnapshotDet, "snapshotdet") }
+
+// TestDirectivesGolden exercises the directives meta-check: unknown
+// analyzer names and suppress-nothing directives are findings (the
+// golden package runs under determinism so a used directive is also
+// present).
+func TestDirectivesGolden(t *testing.T) { checkGolden(t, Determinism, "directives") }
+
+// TestHotPathFrontier builds a throwaway two-package module: hotpath's
+// cross-package frontier rule (annotate the callee or the edge is a
+// finding) needs real package boundaries, which single-directory golden
+// packages cannot express.
+func TestHotPathFrontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list on a temp module")
+	}
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module hottest\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "hottest/b"
+
+//nurapid:hotpath
+func Fast(x int) int {
+	return b.Helper(x)
+}
+`,
+		"b/b.go": `package b
+
+func Helper(x int) int { return x + 1 }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{HotPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	want := "call into hottest/b.Helper, which is not annotated //nurapid:hotpath"
+	if !strings.Contains(diags[0].Message, want) {
+		t.Fatalf("diagnostic %q does not mention %q", diags[0].Message, want)
+	}
+}
+
+// TestHotRootsAnnotated is the drift guard: every real organization
+// entry point — a FuncDecl named Access, AccessMany, or Replay in the
+// module — must carry //nurapid:hotpath or //nurapid:coldpath, so new
+// organizations cannot silently dodge the analyzer.
+func TestHotRootsAnnotated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	rootNames := map[string]bool{"Access": true, "AccessMany": true, "Replay": true}
+	pkgs, err := Load(moduleRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !rootNames[fd.Name.Name] {
+					continue
+				}
+				found++
+				if markOf(fd.Doc) == "" {
+					pos := pkg.Fset.Position(fd.Pos())
+					t.Errorf("%s: %s.%s carries neither //nurapid:hotpath nor //nurapid:coldpath",
+						pos, pkg.Types.Path(), fd.Name.Name)
+				}
+			}
+		}
+	}
+	if found < 12 {
+		t.Fatalf("found only %d Access/AccessMany/Replay declarations; the drift guard lost its targets", found)
+	}
+}
 
 // TestRepositoryIsClean is the in-process version of the CI gate: the
 // whole module must lint clean under the custom analyzer suite.

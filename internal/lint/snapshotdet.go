@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotDet extends the determinism contract to the reporting
+// surface: Snapshot(), Counters(), and Names() implementations feed
+// experiment tables and fingerprints, so a map-range inside one that
+// populates a result without a subsequent sort leaks Go's randomized
+// iteration order straight into rendered output. The sanctioned
+// pattern — range the map into a slice, sort it, then return — is
+// recognized: a map-range is clean when some sink it fills is later
+// passed to a sort call (sort.*, slices.Sort*, or any function whose
+// name contains "Sort").
+//
+// The general map-range check in the determinism analyzer only fires
+// when the loop body itself emits output; snapshot methods instead
+// return data the caller emits, which is why they get their own
+// analyzer.
+var SnapshotDet = &Analyzer{
+	Name: "snapshotdet",
+	Doc: "forbid map iteration feeding Snapshot/Counters/Names results " +
+		"without a sort before return",
+	Run: runSnapshotDet,
+}
+
+// snapshotFuncNames are the reporting-surface method names under the
+// stricter rule.
+var snapshotFuncNames = map[string]bool{
+	"Snapshot": true, "Counters": true, "Names": true,
+}
+
+func runSnapshotDet(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !snapshotFuncNames[fd.Name.Name] {
+				continue
+			}
+			checkSnapshotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkSnapshotFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Collect the body's top-to-bottom statements flattened enough to
+	// order "range" vs "sort": we track, per map-range, the sink
+	// objects its body assigns or appends into, then look for a later
+	// sort call referencing one of them.
+	type mapRange struct {
+		rng   *ast.RangeStmt
+		sinks map[types.Object]bool
+	}
+	var ranges []*mapRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		mr := &mapRange{rng: rng, sinks: collectSinks(pass, rng.Body)}
+		ranges = append(ranges, mr)
+		return true
+	})
+	for _, mr := range ranges {
+		if len(mr.sinks) == 0 {
+			// The loop fills nothing: either it only reads (fine) or
+			// it emits directly, which the determinism analyzer's
+			// map-range check already covers.
+			continue
+		}
+		if sortedAfter(pass, fd.Body, mr.rng, mr.sinks) {
+			continue
+		}
+		pass.Reportf(mr.rng.Pos(),
+			"%s ranges over a map into a result without sorting it; map order is random, so snapshots must sort before returning", fd.Name.Name)
+	}
+}
+
+// collectSinks returns the objects assigned or appended to inside the
+// range body — the candidates carrying map-ordered data outward.
+func collectSinks(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	sinks := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		base := ast.Unparen(e)
+		for {
+			switch x := base.(type) {
+			case *ast.IndexExpr:
+				base = ast.Unparen(x.X)
+				continue
+			case *ast.SelectorExpr:
+				base = ast.Unparen(x.X)
+				continue
+			case *ast.StarExpr:
+				base = ast.Unparen(x.X)
+				continue
+			}
+			break
+		}
+		if id, ok := base.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				sinks[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				add(lhs)
+			}
+		case *ast.CallExpr:
+			// append(sink, ...) assigned elsewhere is caught by the
+			// AssignStmt case; method fills like sink.Add(...) count
+			// through the receiver.
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if _, isMethod := pass.Info.Selections[sel]; isMethod {
+					add(sel.X)
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// sortedAfter reports whether a call that sorts one of the sinks
+// appears after rng within body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, sinks map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			refs := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil && sinks[obj] {
+						refs = true
+					}
+				}
+				return !refs
+			})
+			if refs {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall matches sort.* and slices.Sort* calls, plus any callee
+// whose name contains "Sort" (repo-local sorting helpers).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if pkg := pkgOf(pass, fun); pkg != nil {
+			if pkg.Path() == "sort" || pkg.Path() == "slices" {
+				return true
+			}
+		}
+		return strings.Contains(fun.Sel.Name, "Sort")
+	case *ast.Ident:
+		return strings.Contains(fun.Name, "Sort")
+	}
+	return false
+}

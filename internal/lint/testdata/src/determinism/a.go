@@ -27,6 +27,15 @@ func globalShuffle(xs []int) {
 	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses the process-global generator`
 }
 
+func aliasedGlobal() func(int) int {
+	return rand.Intn // want `rand\.Intn uses the process-global generator`
+}
+
+func storedGlobal() {
+	perm := rand.Perm // want `rand\.Perm uses the process-global generator`
+	_ = perm(4)
+}
+
 func seededRand() *rand.Rand {
 	return rand.New(rand.NewSource(1)) // ok: explicitly seeded instance
 }

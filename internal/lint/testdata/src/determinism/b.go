@@ -1,0 +1,20 @@
+// b.go seeds the dot-import hole: a dot-imported math/rand exposes the
+// global-generator functions as bare idents, with no selector for the
+// package-qualified check to see — called or taken as values, they
+// still draw from hidden global state.
+package determinismtest
+
+import . "math/rand"
+
+func dotCalled() int {
+	return Intn(8) // want `rand\.Intn uses the process-global generator`
+}
+
+func dotAliased() func(int) int {
+	f := Intn // want `rand\.Intn uses the process-global generator`
+	return f
+}
+
+func dotSeeded() *Rand {
+	return New(NewSource(7)) // ok: seeded constructors remain allowed
+}

@@ -1,0 +1,22 @@
+// Package directivestest seeds findings for the directives meta-check:
+// ignore comments naming unknown analyzers and ignore comments that
+// suppress nothing are themselves diagnostics, so stale suppressions
+// cannot silently pile up.
+package directivestest
+
+import "time"
+
+func suppressed() int64 {
+	//nurapidlint:ignore determinism debug timestamp, never reaches results
+	return time.Now().UnixNano()
+}
+
+func typoed() int64 {
+	//nurapidlint:ignore determinsm misspelled analyzer name // want `ignore directive names unknown analyzer "determinsm"`
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func pointless() int {
+	//nurapidlint:ignore determinism nothing on the next line can fire // want `ignore directive suppressed no diagnostic`
+	return 4
+}

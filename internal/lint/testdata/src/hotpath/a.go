@@ -1,0 +1,127 @@
+// Package hotpathtest seeds violations for the hotpath analyzer: every
+// construct the zero-allocation contract forbids, the annotation
+// frontier rules, and the sanctioned escape hatches (panic arguments,
+// struct-field scratch buffers, //nurapid:coldpath callees).
+package hotpathtest
+
+import "fmt"
+
+// Probe mirrors obs.Probe: Emit is a blessed hot frontier, Report is
+// not annotated.
+type Probe interface {
+	//nurapid:hotpath
+	Emit(int)
+
+	Report(int)
+}
+
+type pair struct{ x, y int }
+
+// Cache is the receiver under test.
+type Cache struct {
+	name    string
+	data    []int
+	scratch []int
+	index   map[uint64]int
+	probe   Probe
+	stats   func(int)
+	ch      chan int
+}
+
+// Access is a hot root exercising every forbidden construct.
+//
+//nurapid:hotpath
+func (c *Cache) Access(addr uint64) int {
+	bump := func() {} // want `closure literal allocates on the hot path`
+	bump()            // want `dynamic call through a function value on the hot path`
+	c.stats(1)        // want `dynamic call through a function value on the hot path`
+
+	_ = map[int]int{1: 1} // want `map literal allocates on the hot path`
+	_ = []int{1, 2}       // want `slice literal allocates on the hot path`
+	_ = &pair{1, 2}       // want `address of composite literal allocates on the hot path`
+
+	hit := c.index[addr] // want `map access on the hot path`
+	for range c.index {  // want `map iteration on the hot path`
+		hit++
+	}
+	delete(c.index, addr) // want `map delete on the hot path`
+
+	tag := c.name + "!" // want `string concatenation allocates on the hot path`
+	tag += "?"          // want `string concatenation allocates on the hot path`
+	raw := []byte(tag)  // want `string-to-slice conversion allocates on the hot path`
+	_ = string(raw)     // want `\[\]byte-to-string conversion allocates on the hot path`
+
+	_ = make([]int, 4) // want `make allocates on the hot path`
+	_ = new(pair)      // want `new allocates on the hot path`
+
+	local := c.data
+	local = append(local, 1) // want `append may grow a heap slice on the hot path`
+	_ = local
+	c.scratch = append(c.scratch[:0], hit) // ok: owned struct-field scratch buffer
+
+	go c.flush()    // want `goroutine launch on the hot path`
+	defer c.flush() // want `defer on the hot path`
+	c.ch <- hit     // want `channel send on the hot path`
+
+	_ = fmt.Sprint("trace") // want `fmt\.Sprint allocates on the hot path`
+	if addr == 0 {
+		panic(fmt.Sprintf("hotpathtest: zero address %d", addr)) // ok: panic arguments are exempt
+	}
+
+	c.probe.Emit(hit)   // ok: annotated interface method
+	c.probe.Report(hit) // want `call through interface method hotpath\.Probe\.Report whose declaration is not annotated`
+
+	sink(addr)    // want `passing uint64 as interface interface\{\} boxes the value on the hot path`
+	_ = sum(1, 2) // want `variadic call materializes an argument slice on the hot path`
+
+	helper(c)
+	_ = audit(c) // ok: //nurapid:coldpath callee is never traversed
+	ignored(c)
+	return hit
+}
+
+// flush is only reachable through go/defer statements above, which are
+// reported and pruned, so its body is never scanned.
+func (c *Cache) flush() {}
+
+// sink is a hot helper with an interface parameter, for the boxing
+// check at its call sites.
+//
+//nurapid:hotpath
+func sink(v interface{}) { _ = v }
+
+// sum is a hot variadic helper.
+//
+//nurapid:hotpath
+func sum(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// helper is unannotated but same-package: hot by contagion from Access.
+func helper(c *Cache) {
+	_ = fmt.Sprint(c.name) // want `function hotpath\.helper: fmt\.Sprint allocates on the hot path`
+}
+
+// audit formats freely: deliberately off the fast path.
+//
+//nurapid:coldpath
+func audit(c *Cache) string {
+	return fmt.Sprintf("%v", c.index)
+}
+
+// ignored demonstrates per-line suppression inside hot code.
+func ignored(c *Cache) {
+	//nurapidlint:ignore hotpath scratch reallocation is init-only here
+	c.scratch = make([]int, 0, 8)
+}
+
+// offPath is unreachable from any hot root: nothing below is reported.
+func offPath() []int {
+	out := make([]int, 0, 4)
+	out = append(out, len(out))
+	return out
+}

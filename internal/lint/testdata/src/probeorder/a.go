@@ -1,0 +1,89 @@
+// Package probeordertest seeds violations for the probeorder analyzer:
+// the pinned per-access emission order Access → outcome → Evict →
+// links → Place, checked on every control-flow path, including through
+// same-package helper calls.
+package probeordertest
+
+import "nurapid/internal/obs"
+
+type cache struct {
+	probe obs.Probe
+}
+
+// goodMiss emits the canonical miss sequence.
+func (c *cache) goodMiss(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Miss(now, addr))
+	c.probe.Emit(obs.Evict(now, 1, true))
+	c.probe.Emit(obs.DemoteLink(now, 0, 1, 1))
+	c.probe.Emit(obs.Place(now, 1, 1))
+}
+
+// goodMultiLevel uses the per-level reset: a Place completing one
+// level's fill may be followed by the next level's outcome
+// (uca.Hierarchy's shape).
+func (c *cache) goodMultiLevel(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Hit(now, 0, 4))
+	c.probe.Emit(obs.Place(now, 0, 0))
+	c.probe.Emit(obs.Hit(now, 1, 12)) // ok: Place closes a level, next level's outcome follows
+}
+
+// guarded is the production idiom: emissions behind nil-probe checks.
+func (c *cache) guarded(now int64, addr uint64) {
+	if c.probe != nil {
+		c.probe.Emit(obs.Access(now, addr, false))
+	}
+	if c.probe != nil {
+		c.probe.Emit(obs.Miss(now, addr))
+	}
+}
+
+// evictAfterPlace reorders the fill.
+func (c *cache) evictAfterPlace(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, true))
+	c.probe.Emit(obs.Miss(now, addr))
+	c.probe.Emit(obs.Place(now, 2, 0))
+	c.probe.Emit(obs.Evict(now, 2, false)) // want `obs\.Evict emitted after obs\.Place violates the pinned order`
+}
+
+// accessNotFirst emits the outcome before the access.
+func (c *cache) accessNotFirst(now int64, addr uint64) {
+	c.probe.Emit(obs.Hit(now, 0, 4))
+	c.probe.Emit(obs.Access(now, addr, false)) // want `obs\.Access emitted after obs\.Hit: Access must be the first emission of an access`
+}
+
+// branchOutcome violates on only one path: the else branch reports two
+// outcomes for one access.
+func (c *cache) branchOutcome(now int64, addr uint64, hit bool) {
+	c.probe.Emit(obs.Access(now, addr, false))
+	if hit {
+		c.probe.Emit(obs.Hit(now, 0, 4))
+	} else {
+		c.probe.Emit(obs.Miss(now, addr))
+		c.probe.Emit(obs.Hit(now, 0, 4)) // want `obs\.Hit emitted after obs\.Miss violates the pinned order`
+	}
+}
+
+// fill emits a fill tail; its summary (first emission: Evict) flows to
+// call sites.
+func (c *cache) fill(now int64) {
+	c.probe.Emit(obs.Evict(now, 0, false))
+	c.probe.Emit(obs.Place(now, 0, 1))
+}
+
+// placeThenFill calls fill after already emitting Place: the violation
+// crosses the call boundary.
+func (c *cache) placeThenFill(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Miss(now, addr))
+	c.probe.Emit(obs.Place(now, 1, 0))
+	c.fill(now) // want `call to fill can emit obs\.Evict after obs\.Place, violating the pinned order`
+}
+
+// suppressed shows per-line suppression for a deliberate replay.
+func (c *cache) suppressed(now int64, addr uint64) {
+	c.probe.Emit(obs.Place(now, 0, 0))
+	//nurapidlint:ignore probeorder deliberate trace-tail replay in a test fixture
+	c.probe.Emit(obs.Access(now, addr, false))
+}

@@ -39,6 +39,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//nurapid:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("mathx: Intn called with non-positive n")

@@ -29,6 +29,7 @@ type LowerLevel interface {
 	// Name identifies the organization in experiment output.
 	Name() string
 	// Access performs a read or write of addr issued at cycle now.
+	//nurapid:hotpath
 	Access(now int64, addr uint64, write bool) AccessResult
 	// Distribution returns where accesses were served (per latency
 	// group, plus misses) — the paper's Figures 4, 5, 7 data.
@@ -59,6 +60,7 @@ type Request struct {
 // identical to issuing each request through Access with the replay
 // clock above — the differential harness compares the two paths.
 type BatchAccessor interface {
+	//nurapid:hotpath
 	AccessMany(now int64, reqs []Request, out []AccessResult) int64
 }
 
@@ -69,6 +71,8 @@ type BatchAccessor interface {
 // reqs is empty). Organizations implementing BatchAccessor serve the
 // batch on their specialized loop; everything else falls back to the
 // generic per-access loop, so callers need not care which they hold.
+//
+//nurapid:hotpath
 func AccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) int64 {
 	if ba, ok := l2.(BatchAccessor); ok {
 		return ba.AccessMany(now, reqs, out)
@@ -79,6 +83,8 @@ func AccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) in
 // GenericAccessMany is the fallback batched loop over Access. It is
 // exported so specialized implementations (and their tests) can compare
 // against the reference replay semantics.
+//
+//nurapid:hotpath
 func GenericAccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) int64 {
 	for i := range reqs {
 		r := l2.Access(now, reqs[i].Addr, reqs[i].Write)
@@ -123,6 +129,8 @@ func (m *Memory) Latency() int64 {
 
 // Read fetches one block starting at cycle now and returns the completion
 // cycle.
+//
+//nurapid:hotpath
 func (m *Memory) Read(now int64) int64 {
 	m.Accesses++
 	m.energy += m.AccessNJ
@@ -131,6 +139,8 @@ func (m *Memory) Read(now int64) int64 {
 
 // Write retires one block writeback. Writebacks are buffered and do not
 // stall the requester, so no completion time is returned.
+//
+//nurapid:hotpath
 func (m *Memory) Write() {
 	m.Accesses++
 	m.Writes++
@@ -168,6 +178,8 @@ type Port struct {
 
 // Acquire occupies the port for duration cycles starting no earlier than
 // now, returning the actual start cycle (= now when the port was free).
+//
+//nurapid:hotpath
 func (p *Port) Acquire(now, duration int64) int64 {
 	start := now
 	if p.freeAt > now {
@@ -183,10 +195,14 @@ func (p *Port) Acquire(now, duration int64) int64 {
 // Extend lengthens the current occupancy by duration cycles — used when
 // an access discovers follow-on work (swaps, demotions) after it has
 // already acquired the port.
+//
+//nurapid:hotpath
 func (p *Port) Extend(duration int64) {
 	p.freeAt += duration
 	p.BusyCycles += duration
 }
 
 // FreeAt returns the cycle at which the port next becomes free.
+//
+//nurapid:hotpath
 func (p *Port) FreeAt() int64 { return p.freeAt }

@@ -329,6 +329,8 @@ func (c *Cache) partialMatches(set int, tag uint64) []bool {
 }
 
 // Access implements memsys.LowerLevel.
+//
+//nurapid:hotpath
 func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	c.hot.accesses++
 	if c.probe != nil {
@@ -559,6 +561,8 @@ func (c *Cache) Counters() *stats.Counters {
 
 // AccessMany implements memsys.BatchAccessor: a trace is replayed with
 // each access issued when the previous one completes plus its gap.
+//
+//nurapid:hotpath
 func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
 	for i := range reqs {
 		r := c.Access(now, reqs[i].Addr, reqs[i].Write)

@@ -102,6 +102,8 @@ func (c *Cache) occupiedFrames() int {
 // (with or without promotion ripples) moves blocks but conserves total
 // occupancy; a miss adds exactly one block, minus one per eviction. It
 // then re-verifies the full structural invariants.
+//
+//nurapid:coldpath
 func (c *Cache) auditedAccess(now int64, addr uint64, write bool) memsys.AccessResult {
 	occBefore := c.occupiedFrames()
 	evBefore := c.hot.evictions

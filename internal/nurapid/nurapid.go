@@ -404,6 +404,8 @@ func (c *Cache) chargeAccess(g int) {
 }
 
 // Access implements memsys.LowerLevel.
+//
+//nurapid:hotpath
 func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	if c.cfg.Audit {
 		return c.auditedAccess(now, addr, write)
@@ -418,6 +420,8 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 // outstanding demotion-ripple movement — is identical to issuing the
 // requests one at a time through Access; the differential harness
 // replays both paths and compares them element by element.
+//
+//nurapid:hotpath
 func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
 	if c.cfg.Audit {
 		return memsys.GenericAccessMany(c, now, reqs, out)

@@ -129,47 +129,63 @@ type Event struct {
 }
 
 // Access builds a KindAccess event.
+//
+//nurapid:hotpath
 func Access(now int64, addr uint64, write bool) Event {
 	return Event{Kind: KindAccess, Now: now, Addr: addr, Group: -1, From: -1, Write: write}
 }
 
 // Hit builds a KindHit event for a hit served by group at the observed
 // latency.
+//
+//nurapid:hotpath
 func Hit(now int64, group int, lat int64) Event {
 	return Event{Kind: KindHit, Now: now, Group: int16(group), From: -1, Lat: lat}
 }
 
 // Miss builds a KindMiss event.
+//
+//nurapid:hotpath
 func Miss(now int64, addr uint64) Event {
 	return Event{Kind: KindMiss, Now: now, Addr: addr, Group: -1, From: -1}
 }
 
 // Place builds a KindPlace event: a block absorbed by a free frame of
 // group after depth demotion links.
+//
+//nurapid:hotpath
 func Place(now int64, group, depth int) Event {
 	return Event{Kind: KindPlace, Now: now, Group: int16(group), From: -1, Depth: uint8(depth)}
 }
 
 // Promote builds a KindPromote event: a block left `from` heading for
 // `to`.
+//
+//nurapid:hotpath
 func Promote(now int64, from, to int) Event {
 	return Event{Kind: KindPromote, Now: now, Group: int16(to), From: int16(from)}
 }
 
 // DemoteLink builds a KindDemote event: chain link number depth
 // displaced the victim of `from` into `to`.
+//
+//nurapid:hotpath
 func DemoteLink(now int64, from, to, depth int) Event {
 	return Event{Kind: KindDemote, Now: now, Group: int16(to), From: int16(from), Depth: uint8(depth)}
 }
 
 // Evict builds a KindEvict event: a block left the cache, freeing a
 // frame in group.
+//
+//nurapid:hotpath
 func Evict(now int64, group int, dirty bool) Event {
 	return Event{Kind: KindEvict, Now: now, Group: int16(group), From: -1, Dirty: dirty}
 }
 
 // SwapBacklog builds a KindSwap event: after a movement chain, the
 // single port is booked lat cycles beyond the triggering access.
+//
+//nurapid:hotpath
 func SwapBacklog(now, lat int64) Event {
 	return Event{Kind: KindSwap, Now: now, Group: -1, From: -1, Lat: lat}
 }
@@ -179,6 +195,7 @@ func SwapBacklog(now, lat int64) Event {
 // path: they must be cheap, must not retain pointers into the caller,
 // and need no locking (one simulation runs on one goroutine).
 type Probe interface {
+	//nurapid:hotpath
 	Emit(Event)
 }
 

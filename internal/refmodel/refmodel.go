@@ -273,6 +273,8 @@ func (c *Cache) chargeAccess(g int) {
 }
 
 // Access implements memsys.LowerLevel.
+//
+//nurapid:coldpath
 func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	c.ctrs.Inc("accesses")
 	if c.probe != nil {

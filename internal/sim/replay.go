@@ -81,6 +81,8 @@ func (r *ReplayResult) Snapshot() []stats.KV {
 // Replay runs reqs through a fresh instance of org on the batched
 // path and returns the aggregate result. Deterministic for a given
 // (org, reqs, model).
+//
+//nurapid:coldpath
 func Replay(model *cacti.Model, org Organization, reqs []memsys.Request) *ReplayResult {
 	mem := memsys.NewMemory(org.blockBytes())
 	l2 := org.Factory(model, mem)

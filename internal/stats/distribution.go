@@ -25,11 +25,15 @@ func NewDistribution(labels ...string) *Distribution {
 
 // AddHit records one event in category i. It panics on out-of-range i so
 // that miscounted d-group indices fail loudly in tests.
+//
+//nurapid:hotpath
 func (d *Distribution) AddHit(i int) {
 	d.counts[i]++
 }
 
 // AddMiss records one miss event.
+//
+//nurapid:hotpath
 func (d *Distribution) AddMiss() { d.misses++ }
 
 // Total returns the number of recorded events including misses.

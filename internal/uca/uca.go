@@ -110,6 +110,8 @@ func (u *Uniform) SetProbe(p obs.Probe) { u.probe = p }
 // Access implements memsys.LowerLevel. Probe events follow the
 // canonical per-access order (obs package doc): Access, then Hit, or
 // Miss followed by Evict (when a valid victim was displaced) and Place.
+//
+//nurapid:hotpath
 func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := u.port.Acquire(now, u.occupancy)
 	u.hot.accesses++
@@ -171,6 +173,8 @@ func (u *Uniform) Counters() *stats.Counters {
 }
 
 // AccessMany implements memsys.BatchAccessor.
+//
+//nurapid:hotpath
 func (u *Uniform) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
 	for i := range reqs {
 		r := u.Access(now, reqs[i].Addr, reqs[i].Write)
@@ -248,6 +252,8 @@ func (h *Hierarchy) SetProbe(p obs.Probe) { h.probe = p }
 // reports Evict then Place around its allocation (there is no per-level
 // miss event; KindMiss means a miss to memory), and the L3 reports Miss,
 // Evict, Place on the outermost miss path.
+//
+//nurapid:hotpath
 func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 	start := h.l2Port.Acquire(now, 4)
 	h.hot.accesses++
@@ -359,6 +365,8 @@ func (h *Hierarchy) Counters() *stats.Counters {
 }
 
 // AccessMany implements memsys.BatchAccessor.
+//
+//nurapid:hotpath
 func (h *Hierarchy) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
 	for i := range reqs {
 		r := h.Access(now, reqs[i].Addr, reqs[i].Write)
