@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-runner lint escape-rebaseline fmt bench bench-runner bench-core obs-bench audit diff-fuzz diff-fuzz-long ci
+.PHONY: build test race race-runner lint escape-rebaseline fmt bench bench-runner bench-core bench-cmp obs-bench audit diff-fuzz diff-fuzz-long ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,13 @@ bench-core:
 	$(GO) test -run='^$$' -bench='^BenchmarkCore' -benchtime=1x .
 	BENCH_CORE_JSON=$(CURDIR)/BENCH_core.json $(GO) test -count=1 -run '^TestBenchCoreSmoke$$' -v .
 
+# bench-cmp: measure the CMP front end's aggregate shared-L2 throughput
+# (accesses per second of host time) at 1/2/4/8 cores and write
+# BENCH_cmp.json. Fails when any core count regresses >15% against the
+# committed baseline.
+bench-cmp:
+	BENCH_CMP_JSON=$(CURDIR)/BENCH_cmp.json $(GO) test -count=1 -run '^TestBenchCmpSmoke$$' -v .
+
 # obs-bench: measure the disabled-probe overhead of the observability
 # layer on the Fig6 workload (probe-free vs nil-probe factory vs full
 # Collector+Sampler probes), assert the rendered output stays
@@ -86,4 +93,4 @@ diff-fuzz:
 diff-fuzz-long:
 	DIFF_FUZZ_LONG=1 $(GO) test -count=1 -timeout 60m -v -run TestDifferentialMatrix ./internal/refmodel/difftest/
 
-ci: build test race race-runner lint bench bench-runner bench-core obs-bench diff-fuzz
+ci: build test race race-runner lint bench bench-runner bench-core bench-cmp obs-bench diff-fuzz

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"testing"
 
+	"nurapid/internal/memsys"
 	"nurapid/internal/sim"
 	"nurapid/internal/workload"
 )
@@ -199,7 +200,7 @@ func BenchmarkNuRAPIDAccess(b *testing.B) {
 		if in.Kind != workload.Load && in.Kind != workload.Store {
 			continue
 		}
-		r := cache.Access(now, in.Addr, in.Kind == workload.Store)
+		r := cache.Access(memsys.Req{Now: now, Addr: in.Addr, Write: in.Kind == workload.Store})
 		now = r.DoneAt
 		issued++
 	}

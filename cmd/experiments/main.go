@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"nurapid/internal/cacti"
+	"nurapid/internal/cmp"
 	"nurapid/internal/nuca"
 	"nurapid/internal/nurapid"
 	"nurapid/internal/refmodel/difftest"
@@ -50,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1-table4, fig4-fig11, lru, or all")
+		experiment = flag.String("experiment", "all", "table1-table4, fig4-fig11, lru, ablation, sweep-*, cmp, or all")
 		n          = flag.Int64("n", 2_000_000, "instructions to simulate per application")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -60,8 +61,19 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve expvar and pprof diagnostics on this address (e.g. localhost:6060)")
 		selfcheck  = flag.Bool("selfcheck", false, "differentially check nurapid against its executable spec first")
 		replay     = flag.String("replay", "", "replay an application's L2 trace through the batched path instead of running experiments")
+		cmpMode    = flag.Bool("cmp", false, "run the multi-core CMP experiment (shorthand for -experiment cmp)")
+		cores      = flag.Int("cores", 2, "cores sharing one L2 in CMP runs")
+		sharing    = flag.String("sharing", "shared", "CMP workload pattern: shared or private")
 	)
 	flag.Parse()
+	if *cmpMode {
+		*experiment = "cmp"
+	}
+	sharingPattern, err := cmp.ParseSharing(*sharing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *replay != "" {
 		if err := runReplay(os.Stdout, *replay, *seed, *n); err != nil {
@@ -82,6 +94,8 @@ func main() {
 		sim.WithInstructions(*n),
 		sim.WithSeed(*seed),
 		sim.WithWorkers(*workers),
+		sim.WithCores(*cores),
+		sim.WithSharing(sharingPattern),
 	}
 	var observers []sim.Observer
 	if !*quiet {

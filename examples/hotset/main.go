@@ -44,7 +44,7 @@ func main() {
 		// Fill the hot set, then keep re-accessing it.
 		for round := 0; round < 20; round++ {
 			for i := 0; i < 8; i++ {
-				r := c.Access(now, base+uint64(i)*stride, false)
+				r := c.Access(nurapid.Req{Now: now, Addr: base + uint64(i)*stride, Write: false})
 				now = r.DoneAt + 10
 			}
 		}

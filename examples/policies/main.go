@@ -31,7 +31,7 @@ func run(p nurapid.Promotion) {
 	touch := func(base uint64, rounds int) {
 		for r := 0; r < rounds; r++ {
 			for b := 0; b < regionBlocks; b++ {
-				res := c.Access(now, base+uint64(b)*blockBytes, false)
+				res := c.Access(nurapid.Req{Now: now, Addr: base + uint64(b)*blockBytes, Write: false})
 				now = res.DoneAt + 3
 			}
 		}
@@ -46,7 +46,7 @@ func run(p nurapid.Promotion) {
 		start := now
 		var served int64
 		for b := 0; b < regionBlocks; b++ {
-			res := c.Access(now, regionA+uint64(b)*blockBytes, false)
+			res := c.Access(nurapid.Req{Now: now, Addr: regionA + uint64(b)*blockBytes, Write: false})
 			served += res.DoneAt - now
 			now = res.DoneAt + 3
 		}

@@ -24,25 +24,25 @@ func main() {
 	now := int64(0)
 
 	// Cold miss: fetched from memory and placed in the fastest d-group.
-	r := cache.Access(now, addr, false)
+	r := cache.Access(nurapid.Req{Now: now, Addr: addr, Write: false})
 	fmt.Printf("cycle %5d: read %#x -> hit=%-5v done at cycle %d (memory latency %d)\n",
 		now, addr, r.Hit, r.DoneAt, mem.Latency())
 	fmt.Printf("             block now resides in d-group %d\n\n", cache.GroupOf(addr))
 
 	// Warm hit: served at the fastest d-group's latency.
 	now = r.DoneAt
-	r = cache.Access(now, addr, false)
+	r = cache.Access(nurapid.Req{Now: now, Addr: addr, Write: false})
 	fmt.Printf("cycle %5d: read %#x -> hit=%-5v served by d-group %d in %d cycles\n\n",
 		now, addr, r.Hit, r.Group, r.DoneAt-now)
 
 	// A dirty write, then enough conflicting blocks to evict it: the
 	// writeback goes to memory, and distance replacement demotes blocks
 	// rather than evicting them.
-	cache.Access(now, addr, true)
+	cache.Access(nurapid.Req{Now: now, Addr: addr, Write: true})
 	stride := uint64(8 << 20) // same set in the 8-MB, 8-way tag array
 	for i := 1; i <= 8; i++ {
 		now += 1000
-		cache.Access(now, addr+uint64(i)*stride, false)
+		cache.Access(nurapid.Req{Now: now, Addr: addr + uint64(i)*stride, Write: false})
 	}
 	fmt.Printf("after 8 conflicting fills: block resident=%v, memory writebacks=%d\n",
 		cache.Contains(addr), mem.Writes)

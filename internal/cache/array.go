@@ -148,6 +148,8 @@ func (a *Array) Fill(addr Addr, way int) *Line {
 }
 
 // Invalidate clears (set, way).
+//
+//nurapid:hotpath
 func (a *Array) Invalidate(set, way int) {
 	l := a.Line(set, way)
 	*l = Line{}
@@ -254,6 +256,24 @@ func (c *Cache) Access(addr Addr, write bool) Outcome {
 func (c *Cache) geoAddrOf(set int, tag uint64) Addr {
 	ix := &c.arr.idx
 	return ((tag << ix.setShift) | uint64(set)) << ix.blockShift
+}
+
+// Invalidate drops addr from the cache when resident, reporting whether
+// a line was dropped and whether it was dirty. The dropped line is not
+// written back: the caller decides what a stale copy means (internal/cmp
+// uses this for its coherence-lite shoot-down, where the writer's copy
+// supersedes the invalidated one).
+//
+//nurapid:hotpath
+func (c *Cache) Invalidate(addr Addr) (dropped, dirty bool) {
+	way, hit := c.arr.Lookup(addr)
+	if !hit {
+		return false, false
+	}
+	set := c.arr.idx.SetIndex(addr)
+	dirty = c.arr.Line(set, way).Dirty
+	c.arr.Invalidate(set, way)
+	return true, dirty
 }
 
 // Contains reports whether addr is currently resident (no side effects).

@@ -1,0 +1,113 @@
+package cmp
+
+import (
+	"fmt"
+
+	"nurapid/internal/cpu"
+	"nurapid/internal/stats"
+)
+
+// Result summarizes one CMP run: per-core outcomes plus the aggregate
+// throughput, fairness, and contention figures the experiments report.
+type Result struct {
+	// Cores holds each core's own simulation result, indexed by id.
+	Cores []cpu.Result
+	// PerCore holds each core's shared-queue statistics, indexed by id.
+	PerCore []CoreStats
+	// GroupStallCycles attributes bank-wait cycles to the d-group that
+	// served the stalled access (index = group, latency order).
+	GroupStallCycles []int64
+
+	// MissStallCycles is the bank-wait share attributed to misses.
+	MissStallCycles int64
+	// Invalidations counts L1D lines shot down by other cores' writes.
+	Invalidations int64
+	// Cycles is the slowest core's cycle count — the run's makespan.
+	Cycles int64
+	// Instructions is the total retired across all cores.
+	Instructions int64
+	// AggregateIPC is total instructions over the makespan — the
+	// system's throughput in instructions per cycle.
+	AggregateIPC float64
+	// Fairness is Jain's index over per-core IPCs: 1.0 when every core
+	// progresses equally, approaching 1/n when one core starves the
+	// rest.
+	Fairness float64
+}
+
+// Result assembles the summary for the run so far. It is cheap and
+// side-effect free, so tests may call it mid-run.
+func (s *System) Result() Result {
+	r := Result{
+		Cores:         make([]cpu.Result, len(s.cores)),
+		PerCore:       append([]CoreStats(nil), s.queue.PerCore()...),
+		Invalidations: s.invalidations,
+	}
+	r.GroupStallCycles, r.MissStallCycles = s.queue.GroupStalls()
+	ipcs := make([]float64, len(s.cores))
+	for i, c := range s.cores {
+		cr := c.Result()
+		r.Cores[i] = cr
+		r.Instructions += cr.Instructions
+		if cr.Cycles > r.Cycles {
+			r.Cycles = cr.Cycles
+		}
+		ipcs[i] = cr.IPC
+	}
+	if r.Cycles > 0 {
+		r.AggregateIPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	r.Fairness = JainIndex(ipcs)
+	return r
+}
+
+// JainIndex is Jain's fairness index (sum x)^2 / (n * sum x^2) over the
+// per-core allocations: 1.0 when all are equal, 1/n when one core gets
+// everything. An empty or all-zero allocation is reported as perfectly
+// fair (1.0).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Snapshot emits the aggregate figures plus each core's nested summary
+// (statsreg convention: every counter field must appear here).
+func (r Result) Snapshot() []stats.KV {
+	out := []stats.KV{
+		{Name: "cycles", Value: float64(r.Cycles)},
+		{Name: "instructions", Value: float64(r.Instructions)},
+		{Name: "aggregate_ipc", Value: r.AggregateIPC},
+		{Name: "fairness", Value: r.Fairness},
+		{Name: "invalidations", Value: float64(r.Invalidations)},
+		{Name: "miss_stall_cycles", Value: float64(r.MissStallCycles)},
+	}
+	for g, s := range r.GroupStallCycles {
+		out = append(out, stats.KV{
+			Name:  fmt.Sprintf("dgroup_%d_stall_cycles", g),
+			Value: float64(s),
+		})
+	}
+	for i := range r.Cores {
+		prefix := fmt.Sprintf("core%d_", i)
+		for _, kv := range r.Cores[i].Snapshot() {
+			out = append(out, stats.KV{Name: prefix + kv.Name, Value: kv.Value})
+		}
+		out = append(out,
+			stats.KV{Name: prefix + "queue_accesses", Value: float64(r.PerCore[i].Accesses)},
+			stats.KV{Name: prefix + "queue_writes", Value: float64(r.PerCore[i].Writes)},
+			stats.KV{Name: prefix + "queue_stall_cycles", Value: float64(r.PerCore[i].StallCycles)},
+			stats.KV{Name: prefix + "queue_latency_cycles", Value: float64(r.PerCore[i].LatencyCycles)},
+		)
+	}
+	return out
+}

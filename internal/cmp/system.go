@@ -1,0 +1,274 @@
+package cmp
+
+import (
+	"fmt"
+
+	"nurapid/internal/cpu"
+	"nurapid/internal/memsys"
+	"nurapid/internal/stats"
+	"nurapid/internal/workload"
+)
+
+// Sharing selects how the per-core instruction streams relate.
+type Sharing int
+
+const (
+	// Shared gives every core the identical stream: same seed, same
+	// addresses — full constructive and destructive sharing, the worst
+	// case for coherence shoot-downs and the best for shared-L2 reuse.
+	Shared Sharing = iota
+	// Private seeds each core independently and offsets its address
+	// space so no block is ever shared: pure capacity and bandwidth
+	// contention, no coherence traffic.
+	Private
+)
+
+// String implements fmt.Stringer.
+func (s Sharing) String() string {
+	switch s {
+	case Shared:
+		return "shared"
+	case Private:
+		return "private"
+	default:
+		return fmt.Sprintf("Sharing(%d)", int(s))
+	}
+}
+
+// ParseSharing maps the -cmp flag spellings to a Sharing.
+func ParseSharing(s string) (Sharing, error) {
+	switch s {
+	case "shared":
+		return Shared, nil
+	case "private":
+		return Private, nil
+	default:
+		return 0, fmt.Errorf("cmp: unknown sharing pattern %q (valid: shared, private)", s)
+	}
+}
+
+// defaultPrivateStride separates private per-core address spaces by
+// 64 GB — far above any generated working set, so streams never alias.
+const defaultPrivateStride = uint64(1) << 36
+
+// Config parameterizes a CMP system.
+type Config struct {
+	// Cores is the number of out-of-order cores (>= 1).
+	Cores int
+	// Sharing selects the workload sharing pattern.
+	Sharing Sharing
+	// Queue configures the shared-L2 bank queues; the zero value means
+	// DefaultQueueConfig(Cores).
+	Queue QueueConfig
+	// CPU configures each core; the zero value means
+	// cpu.DefaultConfig().
+	CPU cpu.Config
+	// L1EnergyNJ is the per-L1-access energy charged by each core.
+	L1EnergyNJ float64
+	// PrivateStride is the per-core address offset under Private
+	// sharing; zero means 64 GB.
+	PrivateStride uint64
+}
+
+// System is N cores in lockstep over one shared lower level.
+type System struct {
+	cfg    Config
+	queue  *Queue
+	fronts []coreFront
+	cores  []*cpu.CPU
+
+	cycle         int64
+	invalidations int64
+}
+
+// New builds a CMP system over the shared organization l2. The queue
+// model owns the only path to l2; each core's misses go
+// core -> coreFront (coherence) -> Queue (bank arbitration) -> l2.
+func New(l2 memsys.LowerLevel, cfg Config) (*System, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("cmp: Cores must be >= 1, got %d", cfg.Cores)
+	}
+	qcfg := cfg.Queue
+	if qcfg == (QueueConfig{}) {
+		qcfg = DefaultQueueConfig(cfg.Cores)
+	} else if qcfg.Cores == 0 {
+		qcfg.Cores = cfg.Cores
+	}
+	if qcfg.Cores < cfg.Cores {
+		return nil, fmt.Errorf("cmp: Queue.Cores = %d < Cores = %d", qcfg.Cores, cfg.Cores)
+	}
+	ccfg := cfg.CPU
+	if ccfg == (cpu.Config{}) {
+		ccfg = cpu.DefaultConfig()
+	}
+	queue, err := NewQueue(l2, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, queue: queue}
+	s.fronts = make([]coreFront, cfg.Cores)
+	s.cores = make([]*cpu.CPU, cfg.Cores)
+	for i := range s.fronts {
+		s.fronts[i] = coreFront{sys: s, core: i}
+		c, err := cpu.New(&s.fronts[i],
+			cpu.WithConfig(ccfg),
+			cpu.WithL1EnergyNJ(cfg.L1EnergyNJ),
+			cpu.WithCoreID(i))
+		if err != nil {
+			return nil, err
+		}
+		s.cores[i] = c
+	}
+	return s, nil
+}
+
+// MustNew is New, panicking on configuration errors.
+func MustNew(l2 memsys.LowerLevel, cfg Config) *System {
+	s, err := New(l2, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Queue exposes the shared bank-queue model (contention figures).
+func (s *System) Queue() *Queue { return s.queue }
+
+// Cores exposes the per-core CPU models (tests, per-core figures).
+func (s *System) Cores() []*cpu.CPU { return s.cores }
+
+// Sources builds one instruction source per core for app at seed under
+// the configured sharing pattern. Shared hands every core a generator
+// with the identical seed (identical streams, truly shared blocks);
+// Private perturbs each core's seed and offsets its address space by
+// PrivateStride so streams never alias.
+func (s *System) Sources(app workload.App, seed uint64) ([]workload.Source, error) {
+	stride := s.cfg.PrivateStride
+	if stride == 0 {
+		stride = defaultPrivateStride
+	}
+	srcs := make([]workload.Source, len(s.cores))
+	for i := range srcs {
+		switch s.cfg.Sharing {
+		case Shared:
+			g, err := workload.NewGenerator(app, seed)
+			if err != nil {
+				return nil, err
+			}
+			srcs[i] = g
+		case Private:
+			g, err := workload.NewGenerator(app, seed+uint64(i)*0x9E37_79B9_7F4A_7C15)
+			if err != nil {
+				return nil, err
+			}
+			srcs[i] = &offsetSource{src: g, offset: uint64(i) * stride}
+		default:
+			return nil, fmt.Errorf("cmp: unknown sharing pattern %d", s.cfg.Sharing)
+		}
+	}
+	return srcs, nil
+}
+
+// Run starts every core on its source and steps them in lockstep until
+// all retire maxInstrPerCore instructions (or exhaust their sources).
+// Within each global cycle the core stepping order rotates round-robin
+// ((cycle + k) mod n), so no core gets a standing first-access
+// advantage at the shared queue; the schedule is a pure function of the
+// cycle number, keeping runs deterministic.
+func (s *System) Run(srcs []workload.Source, maxInstrPerCore int64) Result {
+	if len(srcs) != len(s.cores) {
+		panic(fmt.Sprintf("cmp: %d sources for %d cores", len(srcs), len(s.cores)))
+	}
+	for i := range s.cores {
+		s.cores[i].Start(srcs[i], maxInstrPerCore)
+	}
+	n := len(s.cores)
+	running := n
+	finished := make([]bool, n)
+	for running > 0 {
+		base := int(s.cycle % int64(n))
+		for k := 0; k < n; k++ {
+			i := (base + k) % n
+			if finished[i] {
+				continue
+			}
+			if s.cores[i].Done() || !s.cores[i].Step() {
+				finished[i] = true
+				running--
+			}
+		}
+		s.cycle++
+	}
+	return s.Result()
+}
+
+// shootDown invalidates addr's block from every L1D except the writer's
+// own — the coherence-lite model: a write reaching the shared level
+// makes every other private copy stale, and stale copies are dropped
+// without writeback because the writer's data supersedes them.
+//
+//nurapid:hotpath
+func (s *System) shootDown(writer int, addr uint64) {
+	for i := range s.cores {
+		if i == writer {
+			continue
+		}
+		if s.cores[i].InvalidateL1(addr) {
+			s.invalidations++
+		}
+	}
+}
+
+// coreFront is the per-core adapter between a CPU and the shared queue:
+// it stamps the core id on every request and runs the coherence-lite
+// shoot-down for writes before they enter the queue.
+type coreFront struct {
+	sys  *System
+	core int
+}
+
+// Name implements memsys.LowerLevel.
+func (f *coreFront) Name() string { return f.sys.queue.Name() }
+
+// Access implements memsys.LowerLevel for one core's private view of
+// the shared level.
+//
+//nurapid:hotpath
+func (f *coreFront) Access(req memsys.Req) memsys.AccessResult {
+	req.Core = f.core
+	if req.Write {
+		f.sys.shootDown(f.core, req.Addr)
+	}
+	return f.sys.queue.Access(req)
+}
+
+// Distribution implements memsys.LowerLevel.
+func (f *coreFront) Distribution() *stats.Distribution { return f.sys.queue.Distribution() }
+
+// EnergyNJ implements memsys.LowerLevel.
+func (f *coreFront) EnergyNJ() float64 { return f.sys.queue.EnergyNJ() }
+
+// Counters implements memsys.LowerLevel.
+func (f *coreFront) Counters() *stats.Counters { return f.sys.queue.Counters() }
+
+var _ memsys.LowerLevel = (*coreFront)(nil)
+
+// offsetSource shifts a stream's data and fetch addresses by a fixed
+// offset, giving each Private-mode core a disjoint address space.
+type offsetSource struct {
+	src    workload.Source
+	offset uint64
+}
+
+// Next implements workload.Source.
+func (o *offsetSource) Next() (workload.Instr, bool) {
+	in, ok := o.src.Next()
+	if !ok {
+		return in, false
+	}
+	in.PC += o.offset
+	if in.Addr != 0 {
+		in.Addr += o.offset
+	}
+	return in, true
+}

@@ -1,0 +1,212 @@
+package cmp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/memsys"
+	"nurapid/internal/nurapid"
+	"nurapid/internal/obs"
+	"nurapid/internal/workload"
+)
+
+// testInstr keeps full-system tests fast while still driving thousands
+// of shared-L2 accesses per core.
+const testInstr = 30_000
+
+func testApp(t *testing.T) workload.App {
+	t.Helper()
+	app, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("workload roster has no mcf")
+	}
+	return app
+}
+
+func newNuRAPID(t *testing.T) *nurapid.Cache {
+	t.Helper()
+	mem := memsys.NewMemory(128)
+	c, err := nurapid.New(nurapid.DefaultConfig(), cacti.Default(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runShared(t *testing.T, cores int, sharing Sharing, trace *bytes.Buffer) Result {
+	t.Helper()
+	l2 := newNuRAPID(t)
+	if trace != nil {
+		l2.SetProbe(obs.NewTraceSink(trace))
+	}
+	sys, err := New(l2, Config{Cores: cores, Sharing: sharing, L1EnergyNJ: cacti.Default().L1NJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := sys.Sources(testApp(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run(srcs, testInstr)
+}
+
+// Two cores running the identical workload must progress equally:
+// Jain's index stays at ~1.0 and both cores retire the full budget.
+func TestSharedWorkloadFairness(t *testing.T) {
+	res := runShared(t, 2, Shared, nil)
+	for i, cr := range res.Cores {
+		if cr.Instructions != testInstr {
+			t.Errorf("core %d retired %d instructions, want %d", i, cr.Instructions, testInstr)
+		}
+	}
+	if res.Fairness < 0.999 {
+		t.Errorf("fairness = %f for identical workloads, want ~1.0", res.Fairness)
+	}
+	if res.AggregateIPC <= 0 {
+		t.Errorf("aggregate IPC = %f, want > 0", res.AggregateIPC)
+	}
+	if res.Instructions != 2*testInstr {
+		t.Errorf("total instructions = %d, want %d", res.Instructions, 2*testInstr)
+	}
+}
+
+// Shared streams write the same blocks, so coherence shoot-downs must
+// occur; private streams never alias, so none may occur.
+func TestCoherenceInvalidations(t *testing.T) {
+	shared := runShared(t, 2, Shared, nil)
+	if shared.Invalidations == 0 {
+		t.Error("shared run recorded no L1D invalidations; writes to shared blocks must shoot down peer copies")
+	}
+	var l1dInvals int64
+	for _, cr := range shared.Cores {
+		l1dInvals += cr.L1DInvals
+	}
+	if l1dInvals != shared.Invalidations {
+		t.Errorf("per-core L1DInvals sum %d != system Invalidations %d", l1dInvals, shared.Invalidations)
+	}
+
+	private := runShared(t, 2, Private, nil)
+	if private.Invalidations != 0 {
+		t.Errorf("private run recorded %d invalidations, want 0 (disjoint address spaces)", private.Invalidations)
+	}
+}
+
+// Contention is real: with disjoint (Private) address spaces there is
+// no constructive sharing to hide behind, so two cores fighting over
+// the same L2 capacity and bank bandwidth take longer than one core
+// alone, and the queue records nonzero stall cycles. (Under Shared
+// streams the comparison is invalid: each core's misses prefetch the
+// other's blocks into the shared L2, and the pair can finish *faster*
+// than solo — see TestSharedPrefetchEffect.)
+func TestContentionShowsUp(t *testing.T) {
+	solo := runShared(t, 1, Private, nil)
+	duo := runShared(t, 2, Private, nil)
+	if duo.Cycles <= solo.Cycles {
+		t.Errorf("2-core makespan %d <= 1-core %d; shared-queue contention must cost cycles", duo.Cycles, solo.Cycles)
+	}
+	var stalls int64
+	for _, cs := range duo.PerCore {
+		stalls += cs.StallCycles
+	}
+	if stalls == 0 {
+		t.Error("2-core run recorded zero queue stall cycles; same-bank collisions must stall")
+	}
+	var attributed int64
+	for _, s := range duo.GroupStallCycles {
+		attributed += s
+	}
+	attributed += duo.MissStallCycles
+	if attributed != stalls {
+		t.Errorf("group+miss attribution %d != total stalls %d", attributed, stalls)
+	}
+}
+
+// Identical Shared streams interfere constructively: whichever core is
+// momentarily ahead fetches blocks the other then finds in the shared
+// L2, so each core sees fewer memory-level misses than it would alone.
+// This is the behavior that makes the Shared/Private split worth
+// modeling, so pin it down.
+func TestSharedPrefetchEffect(t *testing.T) {
+	solo := runShared(t, 1, Shared, nil)
+	duo := runShared(t, 2, Shared, nil)
+	perCoreDuo := (duo.Cores[0].Cycles + duo.Cores[1].Cycles) / 2
+	if perCoreDuo >= solo.Cycles {
+		t.Errorf("shared duo per-core cycles %d >= solo %d; identical streams should prefetch for each other", perCoreDuo, solo.Cycles)
+	}
+}
+
+// The whole system is deterministic: two identical runs produce deeply
+// equal results and byte-identical shared-L2 event traces, and the
+// trace carries non-zero core ids.
+func TestSystemDeterminism(t *testing.T) {
+	var t1, t2 bytes.Buffer
+	r1 := runShared(t, 2, Shared, &t1)
+	r2 := runShared(t, 2, Shared, &t2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("identical runs produced different Results")
+	}
+	if t1.Len() == 0 {
+		t.Fatal("trace sink captured no events")
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Error("identical runs produced different event traces")
+	}
+	if !strings.Contains(t1.String(), `"core":1`) {
+		t.Error("trace never attributes an access to core 1")
+	}
+}
+
+// A Result snapshot carries the headline aggregate metrics and the
+// per-core nesting.
+func TestResultSnapshot(t *testing.T) {
+	res := runShared(t, 2, Shared, nil)
+	snap := res.Snapshot()
+	want := []string{
+		"cycles", "instructions", "aggregate_ipc", "fairness",
+		"invalidations", "miss_stall_cycles",
+		"core0_ipc", "core1_ipc", "core0_queue_stall_cycles", "core1_queue_accesses",
+	}
+	have := make(map[string]bool, len(snap))
+	for _, kv := range snap {
+		have[kv.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("Result snapshot missing %q", name)
+		}
+	}
+}
+
+// Private sharing offsets each core's stream: the underlying generator
+// addresses never collide across cores.
+func TestOffsetSourceDisjoint(t *testing.T) {
+	l2 := newNuRAPID(t)
+	sys, err := New(l2, Config{Cores: 2, Sharing: Private})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := sys.Sources(testApp(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for core, src := range srcs {
+		for i := 0; i < 2000; i++ {
+			in, ok := src.Next()
+			if !ok {
+				break
+			}
+			if in.Addr == 0 {
+				continue
+			}
+			blk := in.Addr >> 7
+			if prev, dup := seen[blk]; dup && prev != core {
+				t.Fatalf("block %#x generated by both core %d and core %d", blk, prev, core)
+			}
+			seen[blk] = core
+		}
+	}
+}

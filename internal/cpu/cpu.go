@@ -67,6 +67,7 @@ type Result struct {
 	L1DAccesses, L1DMisses int64
 	L1IAccesses, L1IMisses int64
 	L2Accesses             int64
+	L1DInvals              int64   // private-L1 lines shot down by coherence-lite
 	APKI                   float64 // L2 accesses per 1000 instructions
 
 	L1EnergyNJ float64
@@ -84,6 +85,7 @@ func (r Result) Snapshot() []stats.KV {
 		{Name: "l1i_accesses", Value: float64(r.L1IAccesses)},
 		{Name: "l1i_misses", Value: float64(r.L1IMisses)},
 		{Name: "l2_accesses", Value: float64(r.L2Accesses)},
+		{Name: "l1d_invals", Value: float64(r.L1DInvals)},
 		{Name: "apki", Value: r.APKI},
 		{Name: "l1_energy_nj", Value: r.L1EnergyNJ},
 	}
@@ -97,12 +99,13 @@ type robEntry struct {
 // CPU drives a workload through the L1s and the lower-level organization
 // under test.
 type CPU struct {
-	cfg  Config
-	l1d  *cache.Cache
-	l1i  *cache.Cache
-	mshr *cache.MSHRFile
-	l2   memsys.LowerLevel
-	l1NJ float64
+	cfg    Config
+	l1d    *cache.Cache
+	l1i    *cache.Cache
+	mshr   *cache.MSHRFile
+	l2     memsys.LowerLevel
+	l1NJ   float64
+	coreID int
 
 	rob        []robEntry
 	head, tail int
@@ -117,80 +120,150 @@ type CPU struct {
 	curFetchBlock uint64
 	l2Accesses    int64
 	l1Energy      float64
+	l1dInvals     int64 // coherence-lite shoot-downs absorbed
+
+	// Stepped-run state (Start/Step/Result). pending is held by value so
+	// a stalled instruction survives across Step calls without escaping
+	// to the heap.
+	src        workload.Source
+	maxInstr   int64
+	pending    workload.Instr
+	hasPending bool
+	sourceDone bool
+	halted     bool
 }
 
-// New builds a CPU around the given lower-level cache. l1NJ is the
-// per-access L1 energy (Table 2's 0.57 nJ for 2 ports).
-func New(cfg Config, l2 memsys.LowerLevel, l1NJ float64) (*CPU, error) {
-	if err := cfg.Validate(); err != nil {
+// Option configures a CPU at construction (sim.NewRunner style).
+type Option func(*CPU)
+
+// WithConfig sets the core's structural parameters (default:
+// DefaultConfig).
+func WithConfig(cfg Config) Option { return func(c *CPU) { c.cfg = cfg } }
+
+// WithL1EnergyNJ sets the per-access L1 energy (Table 2's 0.57 nJ for 2
+// ports; default 0 — timing only).
+func WithL1EnergyNJ(nj float64) Option { return func(c *CPU) { c.l1NJ = nj } }
+
+// WithCoreID sets the id stamped on every lower-level request this core
+// issues (memsys.Req.Core; default 0). Shared organizations use it for
+// per-core attribution.
+func WithCoreID(id int) Option { return func(c *CPU) { c.coreID = id } }
+
+// New builds a CPU around the given lower-level cache; options default
+// to the paper's Table 1 core with zero L1 energy and core id 0.
+func New(l2 memsys.LowerLevel, opts ...Option) (*CPU, error) {
+	c := &CPU{cfg: DefaultConfig(), l2: l2}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l1d, err := cache.NewCache(cfg.L1Geometry, cache.LRU, nil)
+	l1d, err := cache.NewCache(c.cfg.L1Geometry, cache.LRU, nil)
 	if err != nil {
 		return nil, err
 	}
-	l1i, err := cache.NewCache(cfg.L1Geometry, cache.LRU, nil)
+	l1i, err := cache.NewCache(c.cfg.L1Geometry, cache.LRU, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &CPU{
-		cfg:           cfg,
-		l1d:           l1d,
-		l1i:           l1i,
-		mshr:          cache.NewMSHRFile(cfg.MSHRs),
-		l2:            l2,
-		l1NJ:          l1NJ,
-		rob:           make([]robEntry, cfg.ROB),
-		curFetchBlock: ^uint64(0),
-	}, nil
+	c.l1d = l1d
+	c.l1i = l1i
+	c.mshr = cache.NewMSHRFile(c.cfg.MSHRs)
+	c.rob = make([]robEntry, c.cfg.ROB)
+	c.curFetchBlock = ^uint64(0)
+	return c, nil
 }
 
 // MustNew panics on configuration errors.
-func MustNew(cfg Config, l2 memsys.LowerLevel, l1NJ float64) *CPU {
-	c, err := New(cfg, l2, l1NJ)
+func MustNew(l2 memsys.LowerLevel, opts ...Option) *CPU {
+	c, err := New(l2, opts...)
 	if err != nil {
 		panic(err)
 	}
 	return c
 }
 
+// NewWithConfig builds a CPU in the old positional form.
+//
+// Deprecated: use New(l2, WithConfig(cfg), WithL1EnergyNJ(l1NJ)).
+func NewWithConfig(cfg Config, l2 memsys.LowerLevel, l1NJ float64) (*CPU, error) {
+	return New(l2, WithConfig(cfg), WithL1EnergyNJ(l1NJ))
+}
+
+// CoreID returns the id stamped on this core's lower-level requests.
+func (c *CPU) CoreID() int { return c.coreID }
+
 // Run executes up to maxInstr instructions from src (or until the source
-// ends) and returns the run summary.
+// ends) and returns the run summary. It is Start + Step-to-completion +
+// Result; lockstep drivers (internal/cmp) call those pieces directly.
 func (c *CPU) Run(src workload.Source, maxInstr int64) Result {
-	var pending *workload.Instr
-	sourceDone := false
+	c.Start(src, maxInstr)
+	for c.Step() {
+	}
+	return c.Result()
+}
 
-	for c.committed < maxInstr {
-		c.commitStage()
+// Start arms the core to execute up to maxInstr instructions from src.
+// It does not simulate any cycles; drive the core with Step.
+func (c *CPU) Start(src workload.Source, maxInstr int64) {
+	c.src = src
+	c.maxInstr = maxInstr
+	c.hasPending = false
+	c.sourceDone = false
+	c.halted = false
+}
 
-		// Dispatch stage.
-		c.memIssued = false
-		dispatched := 0
-		for dispatched < c.cfg.Width && c.used < c.cfg.ROB && c.cycle >= c.stallUntil {
-			if pending == nil {
-				if sourceDone || c.committed+int64(c.used) >= maxInstr {
-					break
-				}
-				in, ok := src.Next()
-				if !ok {
-					sourceDone = true
-					break
-				}
-				pending = &in
+// Step simulates one cycle: commit, then dispatch. It returns false once
+// the core is done (instruction budget reached, or the source is
+// exhausted and the window has drained); the clock does not advance on
+// the final call, so Cycles counts only simulated cycles — a full
+// Start/Step loop is cycle-for-cycle identical to the pre-Step Run loop.
+func (c *CPU) Step() bool {
+	if c.halted || c.committed >= c.maxInstr {
+		c.halted = true
+		return false
+	}
+	c.commitStage()
+
+	// Dispatch stage.
+	c.memIssued = false
+	dispatched := 0
+	for dispatched < c.cfg.Width && c.used < c.cfg.ROB && c.cycle >= c.stallUntil {
+		if !c.hasPending {
+			if c.sourceDone || c.committed+int64(c.used) >= c.maxInstr {
+				break
 			}
-			if !c.dispatch(pending) {
-				break // structural stall; retry the same instruction
+			in, ok := c.src.Next()
+			if !ok {
+				c.sourceDone = true
+				break
 			}
-			pending = nil
-			dispatched++
+			c.pending = in
+			c.hasPending = true
 		}
-
-		if sourceDone && c.used == 0 && pending == nil {
-			break
+		if !c.dispatch(&c.pending) {
+			break // structural stall; retry the same instruction
 		}
-		c.cycle++
+		c.hasPending = false
+		dispatched++
 	}
 
+	if c.sourceDone && c.used == 0 && !c.hasPending {
+		c.halted = true
+		return false
+	}
+	c.cycle++
+	return true
+}
+
+// Done reports whether the core has finished its Start-ed run.
+func (c *CPU) Done() bool {
+	return c.halted || c.committed >= c.maxInstr
+}
+
+// Result summarizes the run so far.
+func (c *CPU) Result() Result {
 	res := Result{
 		Instructions: c.committed,
 		Cycles:       c.cycle,
@@ -199,6 +272,7 @@ func (c *CPU) Run(src workload.Source, maxInstr int64) Result {
 		L1IAccesses:  c.l1i.Accesses,
 		L1IMisses:    c.l1i.Accesses - c.l1i.Hits,
 		L2Accesses:   c.l2Accesses,
+		L1DInvals:    c.l1dInvals,
 		L1EnergyNJ:   c.l1Energy,
 	}
 	if res.Cycles > 0 {
@@ -208,6 +282,20 @@ func (c *CPU) Run(src workload.Source, maxInstr int64) Result {
 		res.APKI = float64(res.L2Accesses) * 1000 / float64(res.Instructions)
 	}
 	return res
+}
+
+// InvalidateL1 drops addr's block from the private L1D if resident —
+// the coherence-lite shoot-down another core's shared write triggers.
+// The stale copy is discarded without writeback (the writer's copy
+// supersedes it); the drop is counted in Result.L1DInvals.
+//
+//nurapid:hotpath
+func (c *CPU) InvalidateL1(addr uint64) bool {
+	dropped, _ := c.l1d.Invalidate(addr)
+	if dropped {
+		c.l1dInvals++
+	}
+	return dropped
 }
 
 // commitStage retires up to Width completed instructions in order.
@@ -309,7 +397,9 @@ func (c *CPU) dispatch(in *workload.Instr) bool {
 }
 
 // l2Request issues one access to the organization under test.
+//
+//nurapid:hotpath
 func (c *CPU) l2Request(addr uint64, write bool) int64 {
 	c.l2Accesses++
-	return c.l2.Access(c.cycle, addr, write).DoneAt
+	return c.l2.Access(memsys.Req{Now: c.cycle, Addr: addr, Write: write, Core: c.coreID}).DoneAt
 }

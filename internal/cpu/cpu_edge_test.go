@@ -10,7 +10,7 @@ func TestSingleL1DPortLimitsMemoryThroughput(t *testing.T) {
 	// A stream of L1-hitting loads can retire at most one per cycle, so
 	// IPC for a pure-load stream saturates at ~1 even with width 8.
 	instrs := []workload.Instr{{Kind: workload.Load, PC: 0x400000, Addr: 0x10000000}}
-	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 30000)
 	if res.IPC > 1.05 {
 		t.Fatalf("pure-load IPC %.2f exceeds the single L1D port bound", res.IPC)
@@ -27,7 +27,7 @@ func TestMixedStreamExceedsOneIPC(t *testing.T) {
 		instrs[i] = workload.Instr{Kind: workload.ALU, PC: 0x400000 + uint64(i)*4}
 	}
 	instrs[0] = workload.Instr{Kind: workload.Load, PC: 0x400000, Addr: 0x10000000}
-	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 40000)
 	if res.IPC < 2 {
 		t.Fatalf("mixed stream IPC %.2f; ALU work should overlap the load port", res.IPC)
@@ -46,7 +46,7 @@ func TestICacheMissStallsFetch(t *testing.T) {
 		return out
 	}
 	run := func(spread int) cpuRunStats {
-		c := MustNew(DefaultConfig(), newStubL2(50), 0.5)
+		c := MustNew(newStubL2(50), WithL1EnergyNJ(0.5))
 		res := c.Run(&fixedSource{instrs: mkInstrs(spread), loop: true}, 30000)
 		return cpuRunStats{ipc: res.IPC, iMisses: res.L1IMisses}
 	}
@@ -76,7 +76,7 @@ func TestLSQBoundsInFlightMemOps(t *testing.T) {
 			instrs[i] = workload.Instr{Kind: workload.Load, PC: 0x400000,
 				Addr: 0x10000000 + uint64(i)*4096}
 		}
-		c := MustNew(cfg, newStubL2(200), 0.5)
+		c := MustNew(newStubL2(200), WithConfig(cfg), WithL1EnergyNJ(0.5))
 		return c.Run(&fixedSource{instrs: instrs, loop: true}, 10000).IPC
 	}
 	if small, big := run(2), run(32); small >= big {
@@ -89,7 +89,7 @@ func TestDirtyL1VictimWritesToL2(t *testing.T) {
 	// lower level beyond the demand misses.
 	cfg := DefaultConfig()
 	stub := newStubL2(10)
-	c := MustNew(cfg, stub, 0.5)
+	c := MustNew(stub, WithConfig(cfg), WithL1EnergyNJ(0.5))
 	l1Sets := uint64(cfg.L1Geometry.NumSets() * cfg.L1Geometry.BlockBytes)
 	instrs := make([]workload.Instr, 8)
 	for i := range instrs {
@@ -98,14 +98,14 @@ func TestDirtyL1VictimWritesToL2(t *testing.T) {
 			Addr: 0x10000000 + uint64(i)*l1Sets}
 	}
 	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 5000)
-	if stub.accesses <= res.L1DMisses {
+	if stub.Accesses <= res.L1DMisses {
 		t.Fatalf("L2 accesses (%d) must exceed demand misses (%d) due to writebacks",
-			stub.accesses, res.L1DMisses)
+			stub.Accesses, res.L1DMisses)
 	}
 }
 
 func TestZeroMaxInstr(t *testing.T) {
-	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: alus(8), loop: true}, 0)
 	if res.Instructions != 0 {
 		t.Fatalf("committed %d, want 0", res.Instructions)
@@ -115,7 +115,7 @@ func TestZeroMaxInstr(t *testing.T) {
 func TestBranchWithoutMispredictIsCheap(t *testing.T) {
 	instrs := alus(8)
 	instrs[3] = workload.Instr{Kind: workload.Branch, PC: 0x40000c}
-	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 40000)
 	if res.IPC < 6 {
 		t.Fatalf("predicted branches must not stall: IPC %.2f", res.IPC)

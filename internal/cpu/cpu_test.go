@@ -5,32 +5,13 @@ import (
 
 	"nurapid/internal/cacti"
 	"nurapid/internal/memsys"
-	"nurapid/internal/stats"
+	"nurapid/internal/memsys/memtest"
 	"nurapid/internal/uca"
 	"nurapid/internal/workload"
 )
 
-// stubL2 is a fixed-latency lower level for deterministic timing tests.
-type stubL2 struct {
-	latency  int64
-	accesses int64
-	dist     *stats.Distribution
-	ctrs     stats.Counters
-}
-
-func newStubL2(latency int64) *stubL2 {
-	return &stubL2{latency: latency, dist: stats.NewDistribution("stub")}
-}
-
-func (s *stubL2) Name() string { return "stub" }
-func (s *stubL2) Access(now int64, addr uint64, write bool) memsys.AccessResult {
-	s.accesses++
-	s.dist.AddHit(0)
-	return memsys.AccessResult{Hit: true, DoneAt: now + s.latency, Group: 0}
-}
-func (s *stubL2) Distribution() *stats.Distribution { return s.dist }
-func (s *stubL2) EnergyNJ() float64                 { return 0 }
-func (s *stubL2) Counters() *stats.Counters         { return &s.ctrs }
+// newStubL2 is the shared fixed-latency lower level (memtest.Stub).
+func newStubL2(latency int64) *memtest.Stub { return memtest.NewStub(latency) }
 
 // aluSource yields only ALU instructions at a fixed PC run.
 type fixedSource struct {
@@ -78,7 +59,7 @@ func TestConfigValidate(t *testing.T) {
 func TestNewRejectsBadConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ROB = 0
-	if _, err := New(cfg, newStubL2(10), 0.5); err == nil {
+	if _, err := New(newStubL2(10), WithConfig(cfg), WithL1EnergyNJ(0.5)); err == nil {
 		t.Fatal("bad config must be rejected")
 	}
 }
@@ -91,12 +72,12 @@ func TestMustNewPanics(t *testing.T) {
 	}()
 	cfg := DefaultConfig()
 	cfg.LSQ = 0
-	MustNew(cfg, newStubL2(10), 0.5)
+	MustNew(newStubL2(10), WithConfig(cfg))
 }
 
 func TestALUThroughput(t *testing.T) {
 	// Pure ALU code at full width: IPC should approach the width.
-	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: alus(64), loop: true}, 80000)
 	if res.Instructions != 80000 {
 		t.Fatalf("committed %d", res.Instructions)
@@ -110,7 +91,7 @@ func TestMispredictsCutIPC(t *testing.T) {
 	run := func(mispredict bool) float64 {
 		instrs := alus(16)
 		instrs[7] = workload.Instr{Kind: workload.Branch, PC: 0x400000, Mispredicted: mispredict}
-		c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+		c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 		return c.Run(&fixedSource{instrs: instrs, loop: true}, 40000).IPC
 	}
 	good, bad := run(false), run(true)
@@ -123,7 +104,7 @@ func TestLoadsHitL1(t *testing.T) {
 	instrs := []workload.Instr{
 		{Kind: workload.Load, PC: 0x400000, Addr: 0x10000000},
 	}
-	c := MustNew(DefaultConfig(), newStubL2(50), 0.5)
+	c := MustNew(newStubL2(50), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: instrs, loop: true}, 10000)
 	if res.L1DAccesses != 10000 {
 		t.Fatalf("L1D accesses = %d", res.L1DAccesses)
@@ -145,7 +126,7 @@ func TestL2LatencyHurtsIPC(t *testing.T) {
 		return workload.MustNewGenerator(app, 1)
 	}
 	run := func(lat int64) float64 {
-		c := MustNew(DefaultConfig(), newStubL2(lat), 0.5)
+		c := MustNew(newStubL2(lat), WithL1EnergyNJ(0.5))
 		return c.Run(stream(), 100000).IPC
 	}
 	fast, slow := run(14), run(60)
@@ -166,7 +147,7 @@ func TestMSHRsBoundOutstandingMisses(t *testing.T) {
 			instrs[i] = workload.Instr{Kind: workload.Load, PC: 0x400000,
 				Addr: 0x10000000 + uint64(i)*4096}
 		}
-		c := MustNew(cfg, newStubL2(100), 0.5)
+		c := MustNew(newStubL2(100), WithConfig(cfg), WithL1EnergyNJ(0.5))
 		return c.Run(&fixedSource{instrs: instrs, loop: true}, 20000).IPC
 	}
 	if mk(few) >= mk(many)*0.7 {
@@ -175,7 +156,7 @@ func TestMSHRsBoundOutstandingMisses(t *testing.T) {
 }
 
 func TestSourceExhaustionStopsRun(t *testing.T) {
-	c := MustNew(DefaultConfig(), newStubL2(10), 0.5)
+	c := MustNew(newStubL2(10), WithL1EnergyNJ(0.5))
 	res := c.Run(&fixedSource{instrs: alus(100)}, 1<<40)
 	if res.Instructions != 100 {
 		t.Fatalf("committed %d, want 100", res.Instructions)
@@ -187,7 +168,7 @@ func TestSourceExhaustionStopsRun(t *testing.T) {
 
 func TestResultMetrics(t *testing.T) {
 	app, _ := workload.ByName("applu")
-	c := MustNew(DefaultConfig(), newStubL2(20), 0.57)
+	c := MustNew(newStubL2(20), WithL1EnergyNJ(0.57))
 	res := c.Run(workload.MustNewGenerator(app, 2), 50000)
 	if res.Instructions != 50000 {
 		t.Fatalf("instructions = %d", res.Instructions)
@@ -211,7 +192,7 @@ func TestIntegrationWithBaseHierarchy(t *testing.T) {
 	app, _ := workload.ByName("equake")
 	mem := memsys.NewMemory(128)
 	base := uca.NewHierarchy(cacti.Default(), mem)
-	c := MustNew(DefaultConfig(), base, 0.57)
+	c := MustNew(base, WithL1EnergyNJ(0.57))
 	res := c.Run(workload.MustNewGenerator(app, 3), 100000)
 	if res.IPC <= 0 {
 		t.Fatal("IPC must be positive")
@@ -225,5 +206,4 @@ func TestIntegrationWithBaseHierarchy(t *testing.T) {
 	}
 }
 
-var _ memsys.LowerLevel = (*stubL2)(nil)
 var _ workload.Source = (*fixedSource)(nil)

@@ -12,7 +12,7 @@ type cache struct {
 
 // goodMiss emits the canonical miss sequence.
 func (c *cache) goodMiss(now int64, addr uint64) {
-	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Access(now, addr, false, 0))
 	c.probe.Emit(obs.Miss(now, addr))
 	c.probe.Emit(obs.Evict(now, 1, true))
 	c.probe.Emit(obs.DemoteLink(now, 0, 1, 1))
@@ -23,7 +23,7 @@ func (c *cache) goodMiss(now int64, addr uint64) {
 // level's fill may be followed by the next level's outcome
 // (uca.Hierarchy's shape).
 func (c *cache) goodMultiLevel(now int64, addr uint64) {
-	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Access(now, addr, false, 0))
 	c.probe.Emit(obs.Hit(now, 0, 4))
 	c.probe.Emit(obs.Place(now, 0, 0))
 	c.probe.Emit(obs.Hit(now, 1, 12)) // ok: Place closes a level, next level's outcome follows
@@ -32,7 +32,7 @@ func (c *cache) goodMultiLevel(now int64, addr uint64) {
 // guarded is the production idiom: emissions behind nil-probe checks.
 func (c *cache) guarded(now int64, addr uint64) {
 	if c.probe != nil {
-		c.probe.Emit(obs.Access(now, addr, false))
+		c.probe.Emit(obs.Access(now, addr, false, 0))
 	}
 	if c.probe != nil {
 		c.probe.Emit(obs.Miss(now, addr))
@@ -41,7 +41,7 @@ func (c *cache) guarded(now int64, addr uint64) {
 
 // evictAfterPlace reorders the fill.
 func (c *cache) evictAfterPlace(now int64, addr uint64) {
-	c.probe.Emit(obs.Access(now, addr, true))
+	c.probe.Emit(obs.Access(now, addr, true, 0))
 	c.probe.Emit(obs.Miss(now, addr))
 	c.probe.Emit(obs.Place(now, 2, 0))
 	c.probe.Emit(obs.Evict(now, 2, false)) // want `obs\.Evict emitted after obs\.Place violates the pinned order`
@@ -50,13 +50,13 @@ func (c *cache) evictAfterPlace(now int64, addr uint64) {
 // accessNotFirst emits the outcome before the access.
 func (c *cache) accessNotFirst(now int64, addr uint64) {
 	c.probe.Emit(obs.Hit(now, 0, 4))
-	c.probe.Emit(obs.Access(now, addr, false)) // want `obs\.Access emitted after obs\.Hit: Access must be the first emission of an access`
+	c.probe.Emit(obs.Access(now, addr, false, 0)) // want `obs\.Access emitted after obs\.Hit: Access must be the first emission of an access`
 }
 
 // branchOutcome violates on only one path: the else branch reports two
 // outcomes for one access.
 func (c *cache) branchOutcome(now int64, addr uint64, hit bool) {
-	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Access(now, addr, false, 0))
 	if hit {
 		c.probe.Emit(obs.Hit(now, 0, 4))
 	} else {
@@ -75,7 +75,7 @@ func (c *cache) fill(now int64) {
 // placeThenFill calls fill after already emitting Place: the violation
 // crosses the call boundary.
 func (c *cache) placeThenFill(now int64, addr uint64) {
-	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Access(now, addr, false, 0))
 	c.probe.Emit(obs.Miss(now, addr))
 	c.probe.Emit(obs.Place(now, 1, 0))
 	c.fill(now) // want `call to fill can emit obs\.Evict after obs\.Place, violating the pinned order`
@@ -85,5 +85,5 @@ func (c *cache) placeThenFill(now int64, addr uint64) {
 func (c *cache) suppressed(now int64, addr uint64) {
 	c.probe.Emit(obs.Place(now, 0, 0))
 	//nurapidlint:ignore probeorder deliberate trace-tail replay in a test fixture
-	c.probe.Emit(obs.Access(now, addr, false))
+	c.probe.Emit(obs.Access(now, addr, false, 0))
 }

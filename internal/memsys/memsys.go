@@ -4,9 +4,12 @@
 // the port-occupancy scoreboard.
 //
 // All timing flows through explicit cycle numbers: the CPU owns the
-// clock, calls Access(now, ...), and the organization returns when the
-// data will be available. Organizations update their internal state
-// atomically at access time and model contention with Port scoreboards.
+// clock, issues a typed request (Access(Req{Now: now, ...})), and the
+// organization returns when the data will be available. Organizations
+// update their internal state atomically at access time and model
+// contention with Port scoreboards. Req.Core identifies the requesting
+// core, so shared (CMP) front ends can attribute traffic, fairness, and
+// contention per requestor without side channels.
 package memsys
 
 import "nurapid/internal/stats"
@@ -22,15 +25,40 @@ type AccessResult struct {
 	Group int
 }
 
+// Req is one lower-level cache request: the issue cycle, the block
+// address, the access direction, and the identity of the requestor.
+// Core is the issuing core's id (0 in single-core simulations); shared
+// organizations use it for per-core attribution, fairness accounting,
+// and contention queuing, and it is carried into the obs event stream.
+//
+// Gap is only meaningful in batched sequences (AccessMany): it is the
+// idle think time, in cycles, inserted after this request completes
+// before the next one issues. Access ignores it.
+type Req struct {
+	Now   int64
+	Addr  uint64
+	Write bool
+	Core  int
+	Gap   int64
+}
+
+// Request is the pre-Req batched element type. Its field set (Addr,
+// Write, Gap) is a subset of Req, so existing keyed literals compile
+// unchanged.
+//
+// Deprecated: use Req.
+type Request = Req
+
 // LowerLevel is the single interface every L2 organization implements.
 // Access fully handles the request, including fetching from memory on a
 // miss and any internal block movement (promotions, demotions, swaps).
 type LowerLevel interface {
 	// Name identifies the organization in experiment output.
 	Name() string
-	// Access performs a read or write of addr issued at cycle now.
+	// Access performs the read or write described by req, issued at
+	// cycle req.Now by core req.Core.
 	//nurapid:hotpath
-	Access(now int64, addr uint64, write bool) AccessResult
+	Access(req Req) AccessResult
 	// Distribution returns where accesses were served (per latency
 	// group, plus misses) — the paper's Figures 4, 5, 7 data.
 	Distribution() *stats.Distribution
@@ -43,37 +71,37 @@ type LowerLevel interface {
 	Counters() *stats.Counters
 }
 
-// Request is one element of a batched access sequence: the address and
-// write flag of a lower-level access plus the idle gap (think time, in
-// cycles) inserted after the previous request completes. The replay
-// clock is now_i = doneAt_{i-1} + Gap_i, the same convention the
-// differential harness uses, so a sequence replays identically however
-// it was produced.
-type Request struct {
-	Addr  uint64
-	Write bool
-	Gap   int64
+// Access issues one request in the old positional form.
+//
+// Deprecated: build a Req and call l2.Access directly:
+// l2.Access(Req{Now: now, Addr: addr, Write: write}).
+//
+//nurapid:coldpath
+func Access(l2 LowerLevel, now int64, addr uint64, write bool) AccessResult {
+	return l2.Access(Req{Now: now, Addr: addr, Write: write})
 }
 
 // BatchAccessor is implemented by organizations that provide a
 // specialized batched replay loop. AccessMany must be observably
 // identical to issuing each request through Access with the replay
-// clock above — the differential harness compares the two paths.
+// clock below — the differential harness compares the two paths.
 type BatchAccessor interface {
 	//nurapid:hotpath
-	AccessMany(now int64, reqs []Request, out []AccessResult) int64
+	AccessMany(now int64, reqs []Req, out []AccessResult) int64
 }
 
 // AccessMany replays reqs through l2 back to back: request i issues at
-// the completion time of request i-1 plus its Gap. When out is non-nil
-// it must have len(reqs) and receives each per-request result. The
-// return value is the completion cycle of the final request (now when
+// the completion time of request i-1 plus request i-1's Gap, with the
+// whole sequence seeded at now (each request's own Now field is
+// ignored; its Core is forwarded). When out is non-nil it must have
+// len(reqs) and receives each per-request result. The return value is
+// the completion cycle of the final request plus its Gap (now when
 // reqs is empty). Organizations implementing BatchAccessor serve the
 // batch on their specialized loop; everything else falls back to the
 // generic per-access loop, so callers need not care which they hold.
 //
 //nurapid:hotpath
-func AccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) int64 {
+func AccessMany(l2 LowerLevel, now int64, reqs []Req, out []AccessResult) int64 {
 	if ba, ok := l2.(BatchAccessor); ok {
 		return ba.AccessMany(now, reqs, out)
 	}
@@ -85,9 +113,11 @@ func AccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) in
 // against the reference replay semantics.
 //
 //nurapid:hotpath
-func GenericAccessMany(l2 LowerLevel, now int64, reqs []Request, out []AccessResult) int64 {
+func GenericAccessMany(l2 LowerLevel, now int64, reqs []Req, out []AccessResult) int64 {
 	for i := range reqs {
-		r := l2.Access(now, reqs[i].Addr, reqs[i].Write)
+		q := reqs[i]
+		q.Now = now
+		r := l2.Access(q)
 		if out != nil {
 			out[i] = r
 		}

@@ -1,0 +1,69 @@
+// Package memtest provides shared test fakes for the memsys contract,
+// so every package exercising a CPU or front end against a fake lower
+// level uses one implementation (it used to be copied per test package).
+//
+// The fakes live outside memsys itself to keep the production package
+// free of test-only surface; importing memtest from non-test code is a
+// mistake.
+package memtest
+
+import (
+	"nurapid/internal/memsys"
+	"nurapid/internal/stats"
+)
+
+// Stub is a fixed-latency memsys.LowerLevel: every access hits in group
+// 0 after Latency cycles. Deterministic timing tests (internal/cpu,
+// internal/cmp) use it to isolate the component under test from real
+// cache behavior.
+//
+// The zero value is unusable; build with NewStub.
+type Stub struct {
+	// Latency is the fixed hit latency in cycles.
+	Latency int64
+	// Accesses counts calls to Access.
+	Accesses int64
+	// PerCore counts accesses by req.Core (grown on demand).
+	PerCore []int64
+	// Reqs records every request verbatim when Record is true.
+	Reqs   []memsys.Req
+	Record bool
+
+	dist *stats.Distribution
+	ctrs stats.Counters
+}
+
+// NewStub builds a stub lower level with the given fixed hit latency.
+func NewStub(latency int64) *Stub {
+	return &Stub{Latency: latency, dist: stats.NewDistribution("stub")}
+}
+
+// Name implements memsys.LowerLevel.
+func (s *Stub) Name() string { return "stub" }
+
+// Access implements memsys.LowerLevel: a hit in group 0 at Now+Latency.
+//
+//nurapid:coldpath
+func (s *Stub) Access(req memsys.Req) memsys.AccessResult {
+	s.Accesses++
+	for len(s.PerCore) <= req.Core {
+		s.PerCore = append(s.PerCore, 0)
+	}
+	s.PerCore[req.Core]++
+	if s.Record {
+		s.Reqs = append(s.Reqs, req)
+	}
+	s.dist.AddHit(0)
+	return memsys.AccessResult{Hit: true, DoneAt: req.Now + s.Latency, Group: 0}
+}
+
+// Distribution implements memsys.LowerLevel.
+func (s *Stub) Distribution() *stats.Distribution { return s.dist }
+
+// EnergyNJ implements memsys.LowerLevel.
+func (s *Stub) EnergyNJ() float64 { return 0 }
+
+// Counters implements memsys.LowerLevel.
+func (s *Stub) Counters() *stats.Counters { return &s.ctrs }
+
+var _ memsys.LowerLevel = (*Stub)(nil)

@@ -4,19 +4,20 @@ import (
 	"testing"
 
 	"nurapid/internal/mathx"
+	"nurapid/internal/memsys"
 )
 
 func TestIncrementalHitLatencyGrowsWithGroup(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	// Hit in the slowest group: every group probed sequentially first.
-	r := c.Access(100000, blockAddr(1), false)
+	r := c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1), Write: false})
 	slow := r.DoneAt - 100000
 	// Bubble the block to group 0 and measure again.
 	for i := 0; i < 8; i++ {
-		c.Access(int64(200000+i*10000), blockAddr(1), false)
+		c.Access(memsys.Req{Now: int64(200000 + i*10000), Addr: blockAddr(1), Write: false})
 	}
-	r = c.Access(1000000, blockAddr(1), false)
+	r = c.Access(memsys.Req{Now: 1000000, Addr: blockAddr(1), Write: false})
 	fast := r.DoneAt - 1000000
 	if fast != 7 {
 		t.Fatalf("group-0 incremental hit = %d cycles, want 7 (first probe only)", fast)
@@ -28,8 +29,8 @@ func TestIncrementalHitLatencyGrowsWithGroup(t *testing.T) {
 
 func TestIncrementalUsesNoSmartSearch(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
-	c.Access(0, blockAddr(1), false)
-	c.Access(100000, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
+	c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1), Write: false})
 	if c.Counters().Get("ss_accesses") != 0 {
 		t.Fatal("incremental search must not touch the smart-search array")
 	}
@@ -38,7 +39,7 @@ func TestIncrementalUsesNoSmartSearch(t *testing.T) {
 func TestIncrementalMissProbesAllGroups(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
 	before := c.Counters().Get("bank_accesses")
-	c.Access(0, blockAddr(1), false) // miss: 8 probes + 1 fill
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false}) // miss: 8 probes + 1 fill
 	probes := c.Counters().Get("bank_accesses") - before
 	if probes != int64(c.NumGroups())+1 {
 		t.Fatalf("miss performed %d bank accesses, want %d", probes, c.NumGroups()+1)
@@ -47,15 +48,15 @@ func TestIncrementalMissProbesAllGroups(t *testing.T) {
 
 func TestIncrementalGroupZeroHitProbesOnce(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Policy = Incremental })
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	for i := 0; i < 8; i++ {
-		c.Access(int64(100000+i*10000), blockAddr(1), false)
+		c.Access(memsys.Req{Now: int64(100000 + i*10000), Addr: blockAddr(1), Write: false})
 	}
 	if c.GroupOf(blockAddr(1)) != 0 {
 		t.Fatal("setup: block must reach group 0")
 	}
 	before := c.Counters().Get("bank_accesses")
-	c.Access(1000000, blockAddr(1), false) // group-0 hit, no swap
+	c.Access(memsys.Req{Now: 1000000, Addr: blockAddr(1), Write: false}) // group-0 hit, no swap
 	if got := c.Counters().Get("bank_accesses") - before; got != 1 {
 		t.Fatalf("group-0 incremental hit used %d bank accesses, want 1", got)
 	}
@@ -67,7 +68,7 @@ func TestIncrementalSlowerThanSSPerformance(t *testing.T) {
 		rng := mathx.NewRNG(31)
 		var last int64
 		for i := 0; i < 20000; i++ {
-			r := c.Access(int64(i)*40, blockAddr(rng.Intn(30000)), rng.Bool(0.2))
+			r := c.Access(memsys.Req{Now: int64(i) * 40, Addr: blockAddr(rng.Intn(30000)), Write: rng.Bool(0.2)})
 			last = r.DoneAt
 		}
 		return last
@@ -82,7 +83,7 @@ func TestIncrementalInvariants(t *testing.T) {
 	rng := mathx.NewRNG(33)
 	zipf := mathx.NewZipf(rng.Split(), 0.8, 100000)
 	for i := 0; i < 50000; i++ {
-		c.Access(int64(i)*40, blockAddr(zipf.Draw()), rng.Bool(0.3))
+		c.Access(memsys.Req{Now: int64(i) * 40, Addr: blockAddr(zipf.Draw()), Write: rng.Bool(0.3)})
 	}
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -331,10 +331,11 @@ func (c *Cache) partialMatches(set int, tag uint64) []bool {
 // Access implements memsys.LowerLevel.
 //
 //nurapid:hotpath
-func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+func (c *Cache) Access(req memsys.Req) memsys.AccessResult {
+	now, addr, write := req.Now, req.Addr, req.Write
 	c.hot.accesses++
 	if c.probe != nil {
-		c.probe.Emit(obs.Access(now, addr, write))
+		c.probe.Emit(obs.Access(now, addr, write, req.Core))
 	}
 	set := c.idx.SetIndex(addr)
 	tag := c.idx.Tag(addr)
@@ -563,9 +564,11 @@ func (c *Cache) Counters() *stats.Counters {
 // each access issued when the previous one completes plus its gap.
 //
 //nurapid:hotpath
-func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+func (c *Cache) AccessMany(now int64, reqs []memsys.Req, out []memsys.AccessResult) int64 {
 	for i := range reqs {
-		r := c.Access(now, reqs[i].Addr, reqs[i].Write)
+		q := reqs[i]
+		q.Now = now
+		r := c.Access(q)
 		if out != nil {
 			out[i] = r
 		}

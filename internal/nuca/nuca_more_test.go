@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nurapid/internal/mathx"
+	"nurapid/internal/memsys"
 )
 
 func TestVictimWayPrefersInvalid(t *testing.T) {
@@ -12,7 +13,7 @@ func TestVictimWayPrefersInvalid(t *testing.T) {
 	slowest := c.NumGroups() - 1
 	// Fill one way of the slowest group; the victim must be the other
 	// (still invalid) way, not the occupied one.
-	c.Access(0, blockAddr(0), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(0), Write: false})
 	first := c.victimWay(set, slowest)
 	if c.line(set, first).valid {
 		t.Fatal("victim must prefer the invalid way")
@@ -23,7 +24,7 @@ func TestPartialMatchesPerGroup(t *testing.T) {
 	c, _ := build(t, nil)
 	setBlocks := c.geo.NumSets()
 	// Install tag 1 (set 0); it lands in the slowest group.
-	c.Access(0, blockAddr(1*setBlocks), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1 * setBlocks), Write: false})
 	matches := c.partialMatches(0, 129) // 129 shares low 7 bits with 1
 	if !matches[c.NumGroups()-1] {
 		t.Fatal("partial match must register in the resident group")
@@ -44,11 +45,11 @@ func TestPartialMatchesPerGroup(t *testing.T) {
 func TestSSEnergyMissWithFalseMatchSlower(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Policy = SSEnergy })
 	setBlocks := c.geo.NumSets()
-	c.Access(0, blockAddr(1*setBlocks), false) // tag 1 resident
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1 * setBlocks), Write: false}) // tag 1 resident
 	// Miss with no partial match: early detection.
-	r1 := c.Access(100000, blockAddr(2*setBlocks), false)
+	r1 := c.Access(memsys.Req{Now: 100000, Addr: blockAddr(2 * setBlocks), Write: false})
 	// Miss with a false partial match (tag 129): must probe the bank.
-	r2 := c.Access(300000, blockAddr(129*setBlocks), false)
+	r2 := c.Access(memsys.Req{Now: 300000, Addr: blockAddr(129 * setBlocks), Write: false})
 	if r2.DoneAt-300000 <= r1.DoneAt-100000 {
 		t.Fatalf("false-match miss (%d cyc) must exceed clean miss (%d cyc)",
 			r2.DoneAt-300000, r1.DoneAt-100000)
@@ -68,8 +69,8 @@ func TestGroupOfMissingBlock(t *testing.T) {
 func TestWriteHitDirtiesAndWritesBackOnce(t *testing.T) {
 	c, mem := build(t, nil)
 	stride := c.geo.NumSets()
-	c.Access(0, blockAddr(0), false)
-	c.Access(10000, blockAddr(0), true) // write hit: dirty (and bubbles up)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(0), Write: false})
+	c.Access(memsys.Req{Now: 10000, Addr: blockAddr(0), Write: true}) // write hit: dirty (and bubbles up)
 	// Evict it: fill the slowest group repeatedly until block 0's way
 	// group... block 0 bubbled to group 6 after the write hit, so evict
 	// via many conflicting fills is impractical; instead verify dirty
@@ -89,7 +90,7 @@ func TestFillCountsAndDistributionConsistent(t *testing.T) {
 	c, _ := build(t, nil)
 	rng := mathx.NewRNG(41)
 	for i := 0; i < 30000; i++ {
-		c.Access(int64(i)*40, blockAddr(rng.Intn(60000)), rng.Bool(0.25))
+		c.Access(memsys.Req{Now: int64(i) * 40, Addr: blockAddr(rng.Intn(60000)), Write: rng.Bool(0.25)})
 	}
 	d := c.Distribution()
 	if d.Total() != c.Counters().Get("accesses") {
@@ -107,7 +108,7 @@ func TestEnergyOrderingAcrossPolicies(t *testing.T) {
 	run := func(policy SearchPolicy) float64 {
 		c, _ := build(t, func(cfg *Config) { cfg.Policy = policy })
 		for i := 0; i < 2000; i++ {
-			c.Access(int64(i)*100, blockAddr(i%64), false)
+			c.Access(memsys.Req{Now: int64(i) * 100, Addr: blockAddr(i % 64), Write: false})
 		}
 		return c.EnergyNJ()
 	}

@@ -54,7 +54,7 @@ func TestSearchPolicyString(t *testing.T) {
 
 func TestInitialPlacementInSlowestGroup(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	if g := c.GroupOf(blockAddr(1)); g != c.NumGroups()-1 {
 		t.Fatalf("new block in group %d, want slowest %d", g, c.NumGroups()-1)
 	}
@@ -62,16 +62,16 @@ func TestInitialPlacementInSlowestGroup(t *testing.T) {
 
 func TestBubblePromotionOneGroupPerHit(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	for hits := 1; hits <= c.NumGroups()-1; hits++ {
-		c.Access(int64(hits)*10000, blockAddr(1), false)
+		c.Access(memsys.Req{Now: int64(hits) * 10000, Addr: blockAddr(1), Write: false})
 		want := c.NumGroups() - 1 - hits
 		if g := c.GroupOf(blockAddr(1)); g != want {
 			t.Fatalf("after %d hits block in group %d, want %d", hits, g, want)
 		}
 	}
 	// Further hits keep it in group 0.
-	c.Access(1e9, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 1e9, Addr: blockAddr(1), Write: false})
 	if g := c.GroupOf(blockAddr(1)); g != 0 {
 		t.Fatalf("block left group 0: %d", g)
 	}
@@ -81,7 +81,7 @@ func TestMissLatencySSPerformanceEarlyDetection(t *testing.T) {
 	c, mem := build(t, nil)
 	// Empty cache: no partial match anywhere, so the miss is detected
 	// after the smart-search latency and memory starts immediately.
-	r := c.Access(1000, blockAddr(42), false)
+	r := c.Access(memsys.Req{Now: 1000, Addr: blockAddr(42), Write: false})
 	want := int64(1000+3) + mem.Latency()
 	if r.DoneAt != want {
 		t.Fatalf("early-detected miss done at %d, want %d", r.DoneAt, want)
@@ -90,18 +90,18 @@ func TestMissLatencySSPerformanceEarlyDetection(t *testing.T) {
 
 func TestHitLatencyReflectsGroupDistance(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	// First re-access: hit in slowest group (avg 29 cycles per Table 4).
-	r := c.Access(100000, blockAddr(1), false)
+	r := c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1), Write: false})
 	if !r.Hit {
 		t.Fatal("must hit")
 	}
 	slow := r.DoneAt - 100000
 	// Bubble the block to group 0, then measure again.
 	for i := 0; i < 8; i++ {
-		c.Access(int64(200000+i*10000), blockAddr(1), false)
+		c.Access(memsys.Req{Now: int64(200000 + i*10000), Addr: blockAddr(1), Write: false})
 	}
-	r = c.Access(1000000, blockAddr(1), false)
+	r = c.Access(memsys.Req{Now: 1000000, Addr: blockAddr(1), Write: false})
 	fast := r.DoneAt - 1000000
 	if fast >= slow {
 		t.Fatalf("fast-group hit (%d cycles) must beat slow-group hit (%d)", fast, slow)
@@ -113,9 +113,9 @@ func TestHitLatencyReflectsGroupDistance(t *testing.T) {
 
 func TestSSEnergyProbesOnlyMatchingBanks(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Policy = SSEnergy })
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	before := c.Counters().Get("bank_accesses")
-	c.Access(100000, blockAddr(1), false) // hit: 1 probe + swap traffic (4)
+	c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1)}) // hit: 1 probe + swap traffic (4)
 	probes := c.Counters().Get("bank_accesses") - before
 	if probes != 1+4 {
 		t.Fatalf("ss-energy hit used %d bank accesses, want 5 (1 probe + 4 swap)", probes)
@@ -124,9 +124,9 @@ func TestSSEnergyProbesOnlyMatchingBanks(t *testing.T) {
 
 func TestSSPerformanceMulticastsAllGroups(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	before := c.Counters().Get("bank_accesses")
-	c.Access(100000, blockAddr(1), false) // hit: 8 probes + 4 swap accesses
+	c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1), Write: false}) // hit: 8 probes + 4 swap accesses
 	probes := c.Counters().Get("bank_accesses") - before
 	if probes != 8+4 {
 		t.Fatalf("ss-performance hit used %d bank accesses, want 12", probes)
@@ -138,7 +138,7 @@ func TestSSEnergyCheaperThanSSPerformance(t *testing.T) {
 		c, _ := build(t, func(cfg *Config) { cfg.Policy = policy })
 		rng := mathx.NewRNG(3)
 		for i := 0; i < 20000; i++ {
-			c.Access(int64(i)*50, blockAddr(rng.Intn(30000)), rng.Bool(0.2))
+			c.Access(memsys.Req{Now: int64(i) * 50, Addr: blockAddr(rng.Intn(30000)), Write: rng.Bool(0.2)})
 		}
 		return c.EnergyNJ()
 	}
@@ -157,9 +157,9 @@ func TestEvictionFromSlowestWay(t *testing.T) {
 	// the slowest group's 2 ways survive plus earlier bubbled... in fact
 	// without hits nothing bubbles: each fill evicts the previous one
 	// once the 2 slowest ways are full.
-	c.Access(0, set0, true) // dirty
-	c.Access(1000, blockAddr(stride), false)
-	c.Access(2000, blockAddr(2*stride), false)
+	c.Access(memsys.Req{Now: 0, Addr: set0, Write: true}) // dirty
+	c.Access(memsys.Req{Now: 1000, Addr: blockAddr(stride), Write: false})
+	c.Access(memsys.Req{Now: 2000, Addr: blockAddr(2 * stride), Write: false})
 	// Third fill into the same set: the slowest group's 2 ways held
 	// blocks 0 and stride; block 0 is LRU and gets evicted (dirty).
 	if c.Contains(set0) {
@@ -182,14 +182,14 @@ func TestEvictionIsNotGlobalLRU(t *testing.T) {
 	c, _ := build(t, nil)
 	stride := c.geo.NumSets()
 	// Block A bubbles to group 6 with one hit.
-	c.Access(0, blockAddr(0), false)
-	c.Access(1000, blockAddr(0), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(0), Write: false})
+	c.Access(memsys.Req{Now: 1000, Addr: blockAddr(0), Write: false})
 	// Blocks B and C fill the slowest group.
-	c.Access(2000, blockAddr(stride), false)
-	c.Access(3000, blockAddr(2*stride), false)
+	c.Access(memsys.Req{Now: 2000, Addr: blockAddr(stride), Write: false})
+	c.Access(memsys.Req{Now: 3000, Addr: blockAddr(2 * stride), Write: false})
 	// D fills: evicts B (LRU of slowest group) even though A is older
 	// in absolute terms but already promoted.
-	c.Access(4000, blockAddr(3*stride), false)
+	c.Access(memsys.Req{Now: 4000, Addr: blockAddr(3 * stride), Write: false})
 	if !c.Contains(blockAddr(0)) {
 		t.Fatal("promoted block must survive")
 	}
@@ -200,8 +200,8 @@ func TestEvictionIsNotGlobalLRU(t *testing.T) {
 
 func TestDistributionTracksGroups(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
-	c.Access(10000, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
+	c.Access(memsys.Req{Now: 10000, Addr: blockAddr(1), Write: false})
 	d := c.Distribution()
 	if d.MissCount() != 1 {
 		t.Fatalf("misses = %d", d.MissCount())
@@ -217,7 +217,7 @@ func TestInvariantsAfterStorm(t *testing.T) {
 		rng := mathx.NewRNG(uint64(policy) + 21)
 		zipf := mathx.NewZipf(rng.Split(), 0.9, 150000)
 		for i := 0; i < 60000; i++ {
-			c.Access(int64(i)*40, blockAddr(zipf.Draw()), rng.Bool(0.3))
+			c.Access(memsys.Req{Now: int64(i) * 40, Addr: blockAddr(zipf.Draw()), Write: rng.Bool(0.3)})
 		}
 		if err := c.CheckInvariants(); err != nil {
 			t.Fatalf("%v: %v", policy, err)
@@ -230,10 +230,10 @@ func TestInvariantsAfterStorm(t *testing.T) {
 
 func TestBankContentionSerializes(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	// Two simultaneous hits to the same block contend for its bank.
-	r1 := c.Access(100000, blockAddr(1), false)
-	r2 := c.Access(100000, blockAddr(1), false)
+	r1 := c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1), Write: false})
+	r2 := c.Access(memsys.Req{Now: 100000, Addr: blockAddr(1), Write: false})
 	if r2.DoneAt <= r1.DoneAt {
 		t.Fatalf("second access (%d) must finish after the first (%d)", r2.DoneAt, r1.DoneAt)
 	}
@@ -268,9 +268,9 @@ func TestFalsePartialHitsHappen(t *testing.T) {
 	// tag 1 and tag 129 share bits 0..6 (129 = 0b10000001).
 	a1 := blockAddr(1 * setBlocks) // set 0, tag 1
 	a2 := blockAddr(129 * setBlocks)
-	c.Access(0, a1, false)
+	c.Access(memsys.Req{Now: 0, Addr: a1, Write: false})
 	before := c.Counters().Get("false_partial_hits")
-	c.Access(10000, a2, false) // miss, but partial tags match tag 1
+	c.Access(memsys.Req{Now: 10000, Addr: a2, Write: false}) // miss, but partial tags match tag 1
 	if c.Counters().Get("false_partial_hits") != before+1 {
 		t.Fatal("partial-tag collision must register a false hit")
 	}

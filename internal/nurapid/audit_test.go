@@ -84,7 +84,7 @@ func TestAuditedAccessStorm(t *testing.T) {
 					block = rng.Int63n(coldBlocks)
 				}
 				addr := uint64(block) * uint64(cfg.BlockBytes)
-				res := c.Access(now, addr, rng.Intn(10) < 3)
+				res := c.Access(memsys.Req{Now: now, Addr: addr, Write: rng.Intn(10) < 3})
 				if res.DoneAt < now {
 					t.Fatalf("access %d completed at %d, before issue at %d", n, res.DoneAt, now)
 				}
@@ -113,7 +113,7 @@ func fillCache(t *testing.T) *Cache {
 	c := MustNew(cfg, cacti.Default(), mem)
 	now := int64(0)
 	for b := 0; b < 2*c.geo.NumBlocks(); b++ {
-		res := c.Access(now, uint64(b)*uint64(cfg.BlockBytes), b%3 == 0)
+		res := c.Access(memsys.Req{Now: now, Addr: uint64(b) * uint64(cfg.BlockBytes), Write: b%3 == 0})
 		now = res.DoneAt + 1
 	}
 	if err := c.CheckInvariants(); err != nil {
@@ -212,7 +212,7 @@ func TestAuditPanicsOnCorruption(t *testing.T) {
 	c := MustNew(cfg, cacti.Default(), mem)
 	now := int64(0)
 	for b := 0; b < c.geo.NumBlocks(); b++ {
-		res := c.Access(now, uint64(b)*uint64(cfg.BlockBytes), false)
+		res := c.Access(memsys.Req{Now: now, Addr: uint64(b) * uint64(cfg.BlockBytes), Write: false})
 		now = res.DoneAt + 1
 	}
 	_, _, gid := firstValid(t, c)
@@ -229,7 +229,7 @@ func TestAuditPanicsOnCorruption(t *testing.T) {
 		}
 	}()
 	for b := 0; b < c.geo.NumBlocks(); b++ {
-		c.Access(now, uint64(b)*uint64(cfg.BlockBytes), false)
+		c.Access(memsys.Req{Now: now, Addr: uint64(b) * uint64(cfg.BlockBytes), Write: false})
 		now++
 	}
 }

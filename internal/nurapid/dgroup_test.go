@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"nurapid/internal/mathx"
+	"nurapid/internal/memsys"
 )
 
 // newTestStore builds a single-d-group frame store; with one group the
@@ -189,7 +190,7 @@ func TestCacheQuickInvariantsUnderRandomAccess(t *testing.T) {
 		c := MustNew(cfg, testModel(), testMemory())
 		rng := mathx.NewRNG(seed ^ 0xABCD)
 		for i := 0; i < 4000; i++ {
-			c.Access(int64(i)*20, blockAddr(rng.Intn(150000)), rng.Bool(0.3))
+			c.Access(memsys.Req{Now: int64(i) * 20, Addr: blockAddr(rng.Intn(150000)), Write: rng.Bool(0.3)})
 		}
 		return c.CheckInvariants() == nil
 	}

@@ -104,10 +104,10 @@ func (c *Cache) occupiedFrames() int {
 // then re-verifies the full structural invariants.
 //
 //nurapid:coldpath
-func (c *Cache) auditedAccess(now int64, addr uint64, write bool) memsys.AccessResult {
+func (c *Cache) auditedAccess(now int64, addr uint64, write bool, core int) memsys.AccessResult {
 	occBefore := c.occupiedFrames()
 	evBefore := c.hot.evictions
-	res := c.access(now, addr, write)
+	res := c.access(now, addr, write, core)
 	occAfter := c.occupiedFrames()
 	want := occBefore
 	if !res.Hit {

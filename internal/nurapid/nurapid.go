@@ -406,11 +406,11 @@ func (c *Cache) chargeAccess(g int) {
 // Access implements memsys.LowerLevel.
 //
 //nurapid:hotpath
-func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+func (c *Cache) Access(req memsys.Req) memsys.AccessResult {
 	if c.cfg.Audit {
-		return c.auditedAccess(now, addr, write)
+		return c.auditedAccess(req.Now, req.Addr, req.Write, req.Core)
 	}
-	return c.access(now, addr, write)
+	return c.access(req.Now, req.Addr, req.Write, req.Core)
 }
 
 // AccessMany implements memsys.BatchAccessor: the trace-replay loop with
@@ -422,12 +422,12 @@ func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
 // replays both paths and compares them element by element.
 //
 //nurapid:hotpath
-func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+func (c *Cache) AccessMany(now int64, reqs []memsys.Req, out []memsys.AccessResult) int64 {
 	if c.cfg.Audit {
 		return memsys.GenericAccessMany(c, now, reqs, out)
 	}
 	for i := range reqs {
-		r := c.access(now, reqs[i].Addr, reqs[i].Write)
+		r := c.access(now, reqs[i].Addr, reqs[i].Write, reqs[i].Core)
 		if out != nil {
 			out[i] = r
 		}
@@ -436,10 +436,10 @@ func (c *Cache) AccessMany(now int64, reqs []memsys.Request, out []memsys.Access
 	return now
 }
 
-func (c *Cache) access(now int64, addr uint64, write bool) memsys.AccessResult {
+func (c *Cache) access(now int64, addr uint64, write bool, core int) memsys.AccessResult {
 	c.hot.accesses++
 	if c.probe != nil {
-		c.probe.Emit(obs.Access(now, addr, write))
+		c.probe.Emit(obs.Access(now, addr, write, core))
 	}
 	set := c.idx.SetIndex(addr)
 	way, hit := c.tags.FindTag(set, c.idx.Tag(addr))

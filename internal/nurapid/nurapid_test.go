@@ -67,7 +67,7 @@ func TestEnumStrings(t *testing.T) {
 
 func TestMissPlacesInFastestGroup(t *testing.T) {
 	c, mem := build(t, nil)
-	r := c.Access(0, blockAddr(1), false)
+	r := c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	if r.Hit {
 		t.Fatal("cold access must miss")
 	}
@@ -81,8 +81,8 @@ func TestMissPlacesInFastestGroup(t *testing.T) {
 
 func TestHitLatencyFastestGroup(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
-	r := c.Access(10000, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
+	r := c.Access(memsys.Req{Now: 10000, Addr: blockAddr(1), Write: false})
 	if !r.Hit || r.Group != 0 {
 		t.Fatalf("want d-group-0 hit, got %+v", r)
 	}
@@ -94,7 +94,7 @@ func TestHitLatencyFastestGroup(t *testing.T) {
 
 func TestMissLatencyIncludesTagAndMemory(t *testing.T) {
 	c, _ := build(t, nil)
-	r := c.Access(500, blockAddr(9), false)
+	r := c.Access(memsys.Req{Now: 500, Addr: blockAddr(9), Write: false})
 	want := int64(500 + 8 + 194) // tag probe + memory
 	if r.DoneAt != want {
 		t.Fatalf("miss done at %d, want %d", r.DoneAt, want)
@@ -103,9 +103,9 @@ func TestMissLatencyIncludesTagAndMemory(t *testing.T) {
 
 func TestOnePortSerializesHits(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
-	c.Access(0, blockAddr(1), false) // issued while the port is busy
-	r := c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false}) // issued while the port is busy
+	r := c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	// The cold miss holds the port for the 4-cycle issue interval, the
 	// second access for another 4; the third starts at cycle 8 and
 	// completes a 14-cycle d-group-0 hit at 22.
@@ -125,7 +125,7 @@ func TestSwapsExtendThePort(t *testing.T) {
 	}
 	free := c.port.FreeAt()
 	now := free + 100
-	c.Access(now, target, false) // hit + promotion swap
+	c.Access(memsys.Req{Now: now, Addr: target, Write: false}) // hit + promotion swap
 	// Port held for the issue interval plus 2 movement operations.
 	want := now + accessIssueInterval + 2*movementOccupancy
 	if c.port.FreeAt() != want {
@@ -138,7 +138,7 @@ func TestSwapsExtendThePort(t *testing.T) {
 func fillGroups(c *Cache, n int) {
 	blocks := n * (2 << 20) / 128
 	for i := 0; i < blocks; i++ {
-		c.Access(int64(i)*1000, blockAddr(i), false)
+		c.Access(memsys.Req{Now: int64(i) * 1000, Addr: blockAddr(i), Write: false})
 	}
 }
 
@@ -180,7 +180,7 @@ func TestNextFastestPromotesOneGroup(t *testing.T) {
 	if g0 < 1 {
 		t.Fatalf("setup: block in d-group %d", g0)
 	}
-	r := c.Access(1e9, target, false)
+	r := c.Access(memsys.Req{Now: 1e9, Addr: target, Write: false})
 	if !r.Hit || r.Group != g0 {
 		t.Fatalf("hit reported group %d, want %d", r.Group, g0)
 	}
@@ -202,7 +202,7 @@ func TestFastestPromotesToGroupZero(t *testing.T) {
 	if g := c.GroupOf(target); g < 2 {
 		t.Fatalf("setup: block in d-group %d, want >= 2", g)
 	}
-	c.Access(1e9, target, false)
+	c.Access(memsys.Req{Now: 1e9, Addr: target, Write: false})
 	if g := c.GroupOf(target); g != 0 {
 		t.Fatalf("after hit block in d-group %d, want 0", g)
 	}
@@ -220,7 +220,7 @@ func TestDemotionOnlyNeverPromotes(t *testing.T) {
 		t.Fatalf("setup: block in d-group %d", g0)
 	}
 	for i := 0; i < 5; i++ {
-		c.Access(1e9+int64(i)*1000, target, false)
+		c.Access(memsys.Req{Now: 1e9 + int64(i)*1000, Addr: target, Write: false})
 	}
 	if g := c.GroupOf(target); g != g0 {
 		t.Fatalf("demotion-only moved the block from %d to %d", g0, g)
@@ -238,7 +238,7 @@ func TestMissesIndependentOfPromotionPolicy(t *testing.T) {
 		c, _ := build(t, func(cfg *Config) { cfg.Promotion = pol })
 		rng := mathx.NewRNG(7)
 		for i := 0; i < 60000; i++ {
-			c.Access(int64(i)*30, blockAddr(rng.Intn(100000)), rng.Bool(0.2))
+			c.Access(memsys.Req{Now: int64(i) * 30, Addr: blockAddr(rng.Intn(100000)), Write: rng.Bool(0.2)})
 		}
 		missCounts = append(missCounts, c.Counters().Get("misses"))
 		if err := c.CheckInvariants(); err != nil {
@@ -253,15 +253,15 @@ func TestMissesIndependentOfPromotionPolicy(t *testing.T) {
 func TestDirtyEvictionWritesBack(t *testing.T) {
 	c, mem := build(t, nil)
 	set := c.geo.SetIndex(blockAddr(0))
-	stride := c.geo.NumSets()       // in blocks
-	c.Access(0, blockAddr(0), true) // dirty
+	stride := c.geo.NumSets()                                     // in blocks
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(0), Write: true}) // dirty
 	// Evict it with 8 conflicting fills into the same set.
 	for i := 1; i <= 8; i++ {
 		a := blockAddr(i * stride)
 		if c.geo.SetIndex(a) != set {
 			t.Fatal("stride math wrong")
 		}
-		c.Access(int64(i)*1000, a, false)
+		c.Access(memsys.Req{Now: int64(i) * 1000, Addr: a, Write: false})
 	}
 	if c.Contains(blockAddr(0)) {
 		t.Fatal("victim should have been evicted")
@@ -281,7 +281,7 @@ func TestHotSetFitsInFastestGroup(t *testing.T) {
 	set := c.geo.SetIndex(blockAddr(0))
 	stride := c.geo.NumSets()
 	for i := 0; i < 8; i++ {
-		c.Access(int64(i)*1000, blockAddr(i*stride), false)
+		c.Access(memsys.Req{Now: int64(i) * 1000, Addr: blockAddr(i * stride), Write: false})
 	}
 	for i := 0; i < 8; i++ {
 		a := blockAddr(i * stride)
@@ -300,7 +300,7 @@ func TestSetAssociativePlacementSplitsHotSet(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Placement = SetAssociative })
 	stride := c.geo.NumSets()
 	for i := 0; i < 8; i++ {
-		c.Access(int64(i)*1000, blockAddr(i*stride), false)
+		c.Access(memsys.Req{Now: int64(i) * 1000, Addr: blockAddr(i * stride), Write: false})
 	}
 	perGroup := make(map[int]int)
 	for i := 0; i < 8; i++ {
@@ -335,7 +335,7 @@ func TestRestrictedPlacementKeepsInvariants(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.RestrictFrames = 256 })
 	rng := mathx.NewRNG(11)
 	for i := 0; i < 80000; i++ {
-		c.Access(int64(i)*25, blockAddr(rng.Intn(90000)), rng.Bool(0.25))
+		c.Access(memsys.Req{Now: int64(i) * 25, Addr: blockAddr(rng.Intn(90000)), Write: rng.Bool(0.25)})
 	}
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -349,7 +349,7 @@ func TestLRUDistanceKeepsInvariants(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.Distance = LRUDistance })
 	rng := mathx.NewRNG(13)
 	for i := 0; i < 80000; i++ {
-		c.Access(int64(i)*25, blockAddr(rng.Intn(90000)), rng.Bool(0.25))
+		c.Access(memsys.Req{Now: int64(i) * 25, Addr: blockAddr(rng.Intn(90000)), Write: rng.Bool(0.25)})
 	}
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -369,7 +369,7 @@ func TestInvariantStormAllConfigs(t *testing.T) {
 				rng := mathx.NewRNG(uint64(groups)*100 + uint64(pol)*10 + uint64(dp))
 				zipf := mathx.NewZipf(rng.Split(), 0.9, 120000)
 				for i := 0; i < 40000; i++ {
-					c.Access(int64(i)*30, blockAddr(zipf.Draw()), rng.Bool(0.3))
+					c.Access(memsys.Req{Now: int64(i) * 30, Addr: blockAddr(zipf.Draw()), Write: rng.Bool(0.3)})
 				}
 				if err := c.CheckInvariants(); err != nil {
 					t.Fatalf("groups=%d %v/%v: %v", groups, pol, dp, err)
@@ -381,8 +381,8 @@ func TestInvariantStormAllConfigs(t *testing.T) {
 
 func TestGroupAccessCounting(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)    // miss: 1 fill write in group 0
-	c.Access(1000, blockAddr(1), false) // hit: 1 serve in group 0
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})    // miss: 1 fill write in group 0
+	c.Access(memsys.Req{Now: 1000, Addr: blockAddr(1), Write: false}) // hit: 1 serve in group 0
 	ga := c.GroupAccesses()
 	if ga[0] != 2 {
 		t.Fatalf("group 0 accesses = %d, want 2", ga[0])
@@ -398,7 +398,7 @@ func TestSwapAccountingOnPromotion(t *testing.T) {
 	before := c.GroupAccesses()
 	target := blockAddr(0)
 	g := c.GroupOf(target)
-	c.Access(1e9, target, false) // hit + next-fastest promotion
+	c.Access(memsys.Req{Now: 1e9, Addr: target, Write: false}) // hit + next-fastest promotion
 	after := c.GroupAccesses()
 	// Serve (1 in g) + victim read and promoted write in g-1 (2) +
 	// victim write into g (1).
@@ -412,8 +412,8 @@ func TestSwapAccountingOnPromotion(t *testing.T) {
 
 func TestDistributionTracksGroups(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
-	c.Access(1000, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
+	c.Access(memsys.Req{Now: 1000, Addr: blockAddr(1), Write: false})
 	d := c.Distribution()
 	if d.MissCount() != 1 || d.HitCount(0) != 1 {
 		t.Fatalf("distribution: misses=%d g0=%d", d.MissCount(), d.HitCount(0))
@@ -457,9 +457,9 @@ func TestMustNewPanics(t *testing.T) {
 
 func TestEnergyAccumulates(t *testing.T) {
 	c, _ := build(t, nil)
-	c.Access(0, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 0, Addr: blockAddr(1), Write: false})
 	e1 := c.EnergyNJ()
-	c.Access(1000, blockAddr(1), false)
+	c.Access(memsys.Req{Now: 1000, Addr: blockAddr(1), Write: false})
 	if c.EnergyNJ() <= e1 || e1 <= 0 {
 		t.Fatalf("energy not accumulating: %v -> %v", e1, c.EnergyNJ())
 	}

@@ -1,6 +1,10 @@
 package nurapid
 
-import "testing"
+import (
+	"testing"
+
+	"nurapid/internal/memsys"
+)
 
 func TestPromotionTriggerDelaysPromotion(t *testing.T) {
 	c, _ := build(t, func(cfg *Config) { cfg.PromoteHits = 3 })
@@ -11,15 +15,15 @@ func TestPromotionTriggerDelaysPromotion(t *testing.T) {
 		t.Fatalf("setup: block in d-group %d", g0)
 	}
 	// The first two hits must not promote; the third must.
-	c.Access(1e9, target, false)
+	c.Access(memsys.Req{Now: 1e9, Addr: target, Write: false})
 	if g := c.GroupOf(target); g != g0 {
 		t.Fatalf("after 1 hit block moved to %d", g)
 	}
-	c.Access(1e9+1000, target, false)
+	c.Access(memsys.Req{Now: 1e9 + 1000, Addr: target, Write: false})
 	if g := c.GroupOf(target); g != g0 {
 		t.Fatalf("after 2 hits block moved to %d", g)
 	}
-	c.Access(1e9+2000, target, false)
+	c.Access(memsys.Req{Now: 1e9 + 2000, Addr: target, Write: false})
 	if g := c.GroupOf(target); g != g0-1 {
 		t.Fatalf("after 3 hits block in %d, want %d", c.GroupOf(target), g0-1)
 	}
@@ -38,12 +42,12 @@ func TestPromotionTriggerResetsAfterMove(t *testing.T) {
 	}
 	// Two hits promote one group; the counter then restarts, so the
 	// next single hit must not promote again.
-	c.Access(1e9, target, false)
-	c.Access(1e9+1000, target, false)
+	c.Access(memsys.Req{Now: 1e9, Addr: target, Write: false})
+	c.Access(memsys.Req{Now: 1e9 + 1000, Addr: target, Write: false})
 	if g := c.GroupOf(target); g != g0-1 {
 		t.Fatalf("after 2 hits block in %d, want %d", g, g0-1)
 	}
-	c.Access(1e9+2000, target, false)
+	c.Access(memsys.Req{Now: 1e9 + 2000, Addr: target, Write: false})
 	if g := c.GroupOf(target); g != g0-1 {
 		t.Fatalf("3rd hit promoted early: block in %d", g)
 	}
@@ -56,7 +60,7 @@ func TestPromotionTriggerDefaultIsEveryHit(t *testing.T) {
 		fillGroups(c, 2)
 		target := blockAddr(0)
 		g0 := c.GroupOf(target)
-		c.Access(1e9, target, false)
+		c.Access(memsys.Req{Now: 1e9, Addr: target, Write: false})
 		if g := c.GroupOf(target); g != g0-1 {
 			t.Fatalf("PromoteHits=%d: first hit did not promote (%d -> %d)", k, g0, g)
 		}
@@ -81,7 +85,7 @@ func TestPromotionTriggerReducesSwaps(t *testing.T) {
 		fillGroups(c, 3)
 		// Alternate over a window of demoted blocks.
 		for i := 0; i < 20000; i++ {
-			c.Access(1e9+int64(i)*100, blockAddr(i%4000), false)
+			c.Access(memsys.Req{Now: 1e9 + int64(i)*100, Addr: blockAddr(i % 4000), Write: false})
 		}
 		return c.Counters().Get("promotions")
 	}

@@ -60,7 +60,7 @@ func TestDemotionChainWorstCase(t *testing.T) {
 	b0 := addrOf(0, 0)
 	now := int64(0)
 	for i := 0; i < 64; i++ {
-		r := c.Access(now, addrOf((i%8)*nParts, i/8), false)
+		r := c.Access(memsys.Req{Now: now, Addr: addrOf((i%8)*nParts, i/8)})
 		now = r.DoneAt + 1
 	}
 	if got := c.Counters().Get("evictions"); got != 0 {
@@ -73,7 +73,7 @@ func TestDemotionChainWorstCase(t *testing.T) {
 
 	// The 9th tag of set 0 overflows the set: set-LRU eviction removes b0,
 	// freeing the partition's only frame — in the slowest d-group.
-	r := c.Access(now, addrOf(0, 8), false)
+	r := c.Access(memsys.Req{Now: now, Addr: addrOf(0, 8)})
 	if r.Hit {
 		t.Fatal("probe access unexpectedly hit")
 	}
@@ -144,7 +144,7 @@ func demoteOneBlock(t *testing.T, promotion Promotion, promoteHits int) (*Cache,
 	// distance-LRU block — b0 — into d-group 1.
 	now := int64(0)
 	for i := 0; i < 17; i++ {
-		r := c.Access(now, addrOf((i%4)*nParts, i/4), false)
+		r := c.Access(memsys.Req{Now: now, Addr: addrOf((i%4)*nParts, i/4)})
 		now = r.DoneAt + 1
 	}
 	if got := c.GroupOf(b0); got != 1 {
@@ -167,7 +167,7 @@ func TestHitCounterSaturates(t *testing.T) {
 	meta.hits = 254
 	now := int64(1 << 20)
 	for i := 0; i < 3; i++ {
-		r := c.Access(now, b0, false)
+		r := c.Access(memsys.Req{Now: now, Addr: b0, Write: false})
 		if !r.Hit {
 			t.Fatal("b0 hit expected")
 		}
@@ -184,7 +184,7 @@ func TestHitCounterSaturates(t *testing.T) {
 func TestPromotionFiresAtSaturatedCounter(t *testing.T) {
 	c, b0, meta := demoteOneBlock(t, NextFastest, 200)
 	meta.hits = 254
-	r := c.Access(int64(1<<20), b0, false)
+	r := c.Access(memsys.Req{Now: int64(1 << 20), Addr: b0, Write: false})
 	if !r.Hit || r.Group != 1 {
 		t.Fatalf("expected a d-group 1 hit, got %+v", r)
 	}

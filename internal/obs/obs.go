@@ -112,6 +112,11 @@ type Event struct {
 	Now int64
 	// Addr is the accessed block address (KindAccess, KindMiss).
 	Addr uint64
+	// Core is the requesting core's id, set on KindAccess events
+	// (memsys.Req.Core; 0 in single-core simulations). The events that
+	// follow an access in the canonical order belong to the same
+	// requestor, so per-core trace analysis needs it only here.
+	Core int16
 	// Group is the serving or destination d-group; -1 when n/a.
 	Group int16
 	// From is the source d-group of a movement; -1 when n/a.
@@ -128,11 +133,11 @@ type Event struct {
 	Lat int64
 }
 
-// Access builds a KindAccess event.
+// Access builds a KindAccess event issued by core.
 //
 //nurapid:hotpath
-func Access(now int64, addr uint64, write bool) Event {
-	return Event{Kind: KindAccess, Now: now, Addr: addr, Group: -1, From: -1, Write: write}
+func Access(now int64, addr uint64, write bool, core int) Event {
+	return Event{Kind: KindAccess, Now: now, Addr: addr, Core: int16(core), Group: -1, From: -1, Write: write}
 }
 
 // Hit builds a KindHit event for a hit served by group at the observed

@@ -9,8 +9,8 @@ import (
 // canonicalEvents covers every kind with its meaningful fields set.
 func canonicalEvents() []Event {
 	return []Event{
-		Access(12, 0x1000_0000, true),
-		Access(16, 0x1000_0080, false),
+		Access(12, 0x1000_0000, true, 0),
+		Access(16, 0x1000_0080, false, 0),
 		Hit(16, 0, 14),
 		Miss(20, 0x2000_0000),
 		Place(20, 1, 1),
@@ -98,9 +98,9 @@ func TestCollectorAggregation(t *testing.T) {
 	c := NewCollector()
 	// Two accesses: one hit in group 1 at 30 cycles, one miss whose
 	// placement rippled through two demotion links after an eviction.
-	c.Emit(Access(0, 0x100, false))
+	c.Emit(Access(0, 0x100, false, 0))
 	c.Emit(Hit(0, 1, 30))
-	c.Emit(Access(4, 0x200, true))
+	c.Emit(Access(4, 0x200, true, 0))
 	c.Emit(Miss(4, 0x200))
 	c.Emit(Evict(4, 3, true))
 	c.Emit(DemoteLink(4, 0, 1, 1))
@@ -166,9 +166,9 @@ func TestSamplerOccupancy(t *testing.T) {
 	if s.NumSamples() != 0 {
 		t.Fatalf("samples before any access = %d", s.NumSamples())
 	}
-	s.Emit(Access(4, 0x1, false))
-	s.Emit(Access(5, 0x2, false))
-	s.Emit(Access(6, 0x3, false))
+	s.Emit(Access(4, 0x1, false, 0))
+	s.Emit(Access(5, 0x2, false, 0))
+	s.Emit(Access(6, 0x3, false, 0))
 	if s.NumSamples() != 1 {
 		t.Fatalf("samples after one epoch = %d, want 1", s.NumSamples())
 	}

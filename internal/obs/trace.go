@@ -16,6 +16,7 @@ import (
 // traces:
 //
 //	{"k":"access","t":12,"addr":268435456,"w":true}
+//	{"k":"access","t":12,"addr":268435456,"core":1}
 //	{"k":"hit","t":16,"g":0,"lat":14}
 //	{"k":"miss","t":20,"addr":268436480}
 //	{"k":"place","t":20,"g":1,"depth":1}
@@ -25,8 +26,9 @@ import (
 //	{"k":"swap","t":24,"lat":4}
 //
 // Only the fields meaningful for each kind are written; "w" and "d"
-// are omitted when false. cmd/nurapidtrace (or any JSONL tool) reads
-// the stream back.
+// are omitted when false, and "core" when 0 (single-core runs keep
+// their pre-CMP byte format). cmd/nurapidtrace (or any JSONL tool)
+// reads the stream back.
 
 // TraceSink is a buffered JSONL trace writer probe. It is not safe for
 // concurrent use: attach one sink per simulated run (sim.WithTrace does
@@ -103,6 +105,12 @@ func appendEvent(b []byte, e Event) []byte {
 		if e.Write {
 			b = append(b, `,"w":true`...)
 		}
+		// Core 0 (every single-core run) is omitted, keeping fixed-seed
+		// single-core traces byte-identical to the pre-CMP format.
+		if e.Core != 0 {
+			b = append(b, `,"core":`...)
+			b = strconv.AppendInt(b, int64(e.Core), 10)
+		}
 	case KindHit:
 		b = appendGroup(b, e.Group)
 		b = append(b, `,"lat":`...)
@@ -149,6 +157,7 @@ type wireEvent struct {
 	K     string `json:"k"`
 	T     int64  `json:"t"`
 	Addr  uint64 `json:"addr"`
+	Core  int16  `json:"core"`
 	G     int16  `json:"g"`
 	From  int16  `json:"from"`
 	Depth uint8  `json:"depth"`
@@ -194,7 +203,7 @@ func (w wireEvent) event() (Event, error) {
 	}
 	switch k {
 	case KindAccess:
-		return Access(w.T, w.Addr, w.W), nil
+		return Access(w.T, w.Addr, w.W, int(w.Core)), nil
 	case KindHit:
 		return Hit(w.T, int(w.G), w.Lat), nil
 	case KindMiss:

@@ -18,6 +18,7 @@ import (
 
 	"nurapid/internal/cache"
 	"nurapid/internal/cacti"
+	"nurapid/internal/cmp"
 	"nurapid/internal/mathx"
 	"nurapid/internal/memsys"
 	"nurapid/internal/nurapid"
@@ -29,11 +30,25 @@ import (
 // Access is one step of a differential workload. Gap is the idle time
 // inserted after the previous access completes; the replay clock is
 // now = prevDoneAt + Gap, so a sequence replays identically however it
-// was produced or shrunk.
+// was produced or shrunk. Core is the issuing core id, used only by the
+// shared (multi-core) comparison; single-core diffs leave it 0.
 type Access struct {
 	Addr  uint64 `json:"addr"`
 	Write bool   `json:"write"`
 	Gap   int64  `json:"gap"`
+	Core  int    `json:"core,omitempty"`
+}
+
+// ShareAcross stamps a deterministic core id on every access, spreading
+// seq across cores requestors — the input shape DiffShared expects. The
+// original slice is not modified.
+func ShareAcross(seq []Access, cores int, seed uint64) []Access {
+	rng := mathx.NewRNG(seed)
+	out := append([]Access(nil), seq...)
+	for i := range out {
+		out[i].Core = rng.Intn(cores)
+	}
+	return out
 }
 
 // Options tunes a differential run. The zero value is the production
@@ -88,8 +103,8 @@ func Diff(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 	now := int64(0)
 	fastResults := make([]memsys.AccessResult, len(seq))
 	for i, a := range seq {
-		fr := fast.Access(now, a.Addr, a.Write)
-		rr := ref.Access(now, a.Addr, a.Write)
+		fr := fast.Access(memsys.Req{Now: now, Addr: a.Addr, Write: a.Write})
+		rr := ref.Access(memsys.Req{Now: now, Addr: a.Addr, Write: a.Write})
 		fastResults[i] = fr
 		if fr.Hit != rr.Hit {
 			return &Divergence{Index: i, Field: "hit",
@@ -125,6 +140,88 @@ func Diff(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 	}
 
 	if d := diffBatched(cfg, m, seq, fast, fastMem, fastRec, fastResults, now); d != nil {
+		return d
+	}
+
+	return diffFinalState(fast, ref, fastMem, refMem, seq)
+}
+
+// DiffShared replays seq through the 2-core shared front end: both the
+// fast implementation and the reference model sit behind an identical
+// cmp bank-queue, and each access carries a core id (stamp them with
+// ShareAcross). Queue arbitration, per-core attribution, Core-stamped
+// event streams, and all final state are compared, so the multi-core
+// glue is oracle-gated exactly like the single-core path.
+func DiffShared(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
+	const cores = 2
+	m := cacti.Default()
+	fastMem := memsys.NewMemory(cfg.BlockBytes)
+	refMem := memsys.NewMemory(cfg.BlockBytes)
+	fast := nurapid.MustNew(cfg, m, fastMem)
+	ref := refmodel.MustNew(cfg, m, refMem)
+	ref.InjectFault(opt.Fault)
+
+	fastRec, refRec := &recorder{}, &recorder{}
+	fast.SetProbe(fastRec)
+	ref.SetProbe(refRec)
+
+	qcfg := cmp.QueueConfig{Banks: 4, BlockBytes: cfg.BlockBytes, Occupancy: 4, Cores: cores}
+	fq, err := cmp.NewQueue(fast, qcfg)
+	if err != nil {
+		panic(fmt.Sprintf("difftest: queue construction failed: %v", err))
+	}
+	rq, err := cmp.NewQueue(ref, qcfg)
+	if err != nil {
+		panic(fmt.Sprintf("difftest: queue construction failed: %v", err))
+	}
+
+	now := int64(0)
+	for i, a := range seq {
+		req := memsys.Req{Now: now, Addr: a.Addr, Write: a.Write, Core: a.Core}
+		fr := fq.Access(req)
+		rr := rq.Access(req)
+		if fr.Hit != rr.Hit {
+			return &Divergence{Index: i, Field: "shared:hit",
+				Fast: fmt.Sprint(fr.Hit), Ref: fmt.Sprint(rr.Hit)}
+		}
+		if fr.Group != rr.Group {
+			return &Divergence{Index: i, Field: "shared:group",
+				Fast: fmt.Sprint(fr.Group), Ref: fmt.Sprint(rr.Group)}
+		}
+		if fr.DoneAt != rr.DoneAt {
+			return &Divergence{Index: i, Field: "shared:done_at",
+				Fast: fmt.Sprint(fr.DoneAt), Ref: fmt.Sprint(rr.DoneAt)}
+		}
+		now = fr.DoneAt + a.Gap
+	}
+
+	// Core-stamped event streams must match exactly.
+	for i := 0; i < len(fastRec.events) || i < len(refRec.events); i++ {
+		var fe, re obs.Event
+		feOK, reOK := i < len(fastRec.events), i < len(refRec.events)
+		if feOK {
+			fe = fastRec.events[i]
+		}
+		if reOK {
+			re = refRec.events[i]
+		}
+		if !feOK || !reOK || fe != re {
+			return &Divergence{Index: -1, Field: fmt.Sprintf("shared:event %d", i),
+				Fast: renderEvent(fe, feOK), Ref: renderEvent(re, reOK)}
+		}
+	}
+
+	// Queue-side accounting: per-core attribution and contention
+	// counters must agree (the queues are identical glue, so any drift
+	// means the wrapped models disagreed on timing).
+	fpc, rpc := fq.PerCore(), rq.PerCore()
+	for c := range fpc {
+		if fpc[c] != rpc[c] {
+			return &Divergence{Index: -1, Field: fmt.Sprintf("shared:per_core %d", c),
+				Fast: fmt.Sprintf("%+v", fpc[c]), Ref: fmt.Sprintf("%+v", rpc[c])}
+		}
+	}
+	if d := diffKVs("shared:queue", fq.Snapshot(), rq.Snapshot()); d != nil {
 		return d
 	}
 

@@ -88,6 +88,60 @@ func TestDifferentialMatrix(t *testing.T) {
 	}
 }
 
+// TestDifferentialMatrixShared is the 2-core shared-L2 pass of the
+// fuzzer: every policy-matrix cell runs every adversarial workload
+// spread across two requestors through identical cmp bank-queues in
+// front of both implementations (the -run regex of `make diff-fuzz`
+// matches this test too, so the shared cell runs at CI depth and under
+// -race).
+func TestDifferentialMatrixShared(t *testing.T) {
+	n := accessesPerCell()
+	for _, cell := range Matrix() {
+		cell := cell
+		t.Run(cell.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, wl := range Workloads() {
+				seq := ShareAcross(wl.Gen(cell.Cfg, 11, n), 2, 23)
+				if d := DiffShared(cell.Cfg, seq, Options{}); d != nil {
+					t.Fatalf("%s/%s diverged on the shared 2-core path: %s",
+						cell.Name, wl.Name, d)
+				}
+			}
+		})
+	}
+}
+
+// TestShareAcrossSpreadsCores guards the shared fuzzer input: both core
+// ids must actually occur, and the original sequence must be untouched.
+func TestShareAcrossSpreadsCores(t *testing.T) {
+	seq := make([]Access, 200)
+	shared := ShareAcross(seq, 2, 23)
+	counts := map[int]int{}
+	for _, a := range shared {
+		counts[a.Core]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("core spread = %v, want both cores used", counts)
+	}
+	for i := range seq {
+		if seq[i].Core != 0 {
+			t.Fatal("ShareAcross modified its input")
+		}
+	}
+}
+
+// TestDiffSharedCatchesFault proves the shared path is a real oracle:
+// a fault injected into the reference model must surface through the
+// queued 2-core comparison too.
+func TestDiffSharedCatchesFault(t *testing.T) {
+	cell := faultCell()
+	seq := ShareAcross(faultWorkload(cell.Cfg, 11, 4000), 2, 23)
+	opt := Options{Fault: refmodel.FaultSkipDemoteHitsReset}
+	if d := DiffShared(cell.Cfg, seq, opt); d == nil {
+		t.Fatal("DiffShared missed an injected reference-model fault")
+	}
+}
+
 // TestMatrixExercisesMachinery guards the fuzzer against silently gentle
 // workloads: across the matrix, evictions, demotions, promotions, and
 // writebacks must all actually occur, or agreement proves nothing.
@@ -99,7 +153,7 @@ func TestMatrixExercisesMachinery(t *testing.T) {
 			c := nurapid.MustNew(cell.Cfg, cacti.Default(), memsys.NewMemory(cell.Cfg.BlockBytes))
 			now := int64(0)
 			for _, a := range seq {
-				r := c.Access(now, a.Addr, a.Write)
+				r := c.Access(memsys.Req{Now: now, Addr: a.Addr, Write: a.Write})
 				now = r.DoneAt + a.Gap
 			}
 			for _, name := range []string{"evictions", "demotions", "promotions", "writebacks"} {

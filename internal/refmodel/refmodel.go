@@ -275,10 +275,11 @@ func (c *Cache) chargeAccess(g int) {
 // Access implements memsys.LowerLevel.
 //
 //nurapid:coldpath
-func (c *Cache) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+func (c *Cache) Access(req memsys.Req) memsys.AccessResult {
+	now, addr, write := req.Now, req.Addr, req.Write
 	c.ctrs.Inc("accesses")
 	if c.probe != nil {
-		c.probe.Emit(obs.Access(now, addr, write))
+		c.probe.Emit(obs.Access(now, addr, write, req.Core))
 	}
 	if b, ok := c.blocks[c.geo.BlockAddr(addr)]; ok {
 		return c.hit(now, b, write)

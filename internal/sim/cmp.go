@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nurapid/internal/cmp"
+	"nurapid/internal/memsys"
+	"nurapid/internal/nuca"
+	"nurapid/internal/nurapid"
+	"nurapid/internal/stats"
+	"nurapid/internal/vis"
+	"nurapid/internal/workload"
+)
+
+// WithCores sets how many cores the CMP experiments simulate over one
+// shared lower level. The single-core experiments (the paper's tables
+// and figures) ignore it.
+func WithCores(n int) Option {
+	return func(r *Runner) { r.Cores = n }
+}
+
+// WithSharing selects the CMP workload sharing pattern (cmp.Shared or
+// cmp.Private).
+func WithSharing(s cmp.Sharing) Option {
+	return func(r *Runner) { r.Sharing = s }
+}
+
+// CMPRunResult captures one multi-core run: the cmp system's own
+// result plus the energy the shared organization and memory consumed.
+type CMPRunResult struct {
+	App   string
+	Org   string
+	Cores int
+
+	Res cmp.Result
+
+	L2EnergyNJ  float64
+	MemEnergyNJ float64
+
+	// QueueMetrics is the shared bank-queue's contention snapshot.
+	QueueMetrics []stats.KV
+}
+
+// Snapshot emits the run's metrics (statsreg convention: every counter
+// field must appear here).
+func (r *CMPRunResult) Snapshot() []stats.KV {
+	out := []stats.KV{
+		{Name: "cores", Value: float64(r.Cores)},
+		{Name: "l2_energy_nj", Value: r.L2EnergyNJ},
+		{Name: "mem_energy_nj", Value: r.MemEnergyNJ},
+	}
+	out = append(out, r.Res.Snapshot()...)
+	out = append(out, r.QueueMetrics...)
+	return out
+}
+
+// cmpCell is the singleflight slot for one memoized CMP run.
+type cmpCell struct {
+	once sync.Once
+	res  *CMPRunResult
+}
+
+// cmpLabel names a CMP run in observer events and memo keys, e.g.
+// "cmp4-shared-nurapid-4g-next-random".
+func (r *Runner) cmpLabel(org Organization) string {
+	return fmt.Sprintf("cmp%d-%s-%s", r.cmpCores(), r.Sharing, org.Key)
+}
+
+// cmpCores returns the configured core count, defaulting to 2 so a
+// plain NewRunner() can run the CMP experiment meaningfully.
+func (r *Runner) cmpCores() int {
+	if r.Cores >= 1 {
+		return r.Cores
+	}
+	return 2
+}
+
+// cmpSlot returns the singleflight slot for key, creating it if needed.
+func (r *Runner) cmpSlot(key string) *cmpCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cmpMemo == nil {
+		r.cmpMemo = make(map[string]*cmpCell)
+	}
+	c, ok := r.cmpMemo[key]
+	if !ok {
+		c = &cmpCell{}
+		r.cmpMemo[key] = c
+	}
+	return c
+}
+
+// RunCMP simulates app on Cores copies of the out-of-order core over
+// one shared org, memoized on (app, cores, sharing, org key). Each core
+// retires Instructions instructions, so the aggregate work scales with
+// the core count. Probes and traces attach to the shared organization
+// exactly as in single-core runs, under the cmp label.
+func (r *Runner) RunCMP(app workload.App, org Organization) *CMPRunResult {
+	label := r.cmpLabel(org)
+	key := app.Name + "/" + label
+	c := r.cmpSlot(key)
+	c.once.Do(func() {
+		r.emit(RunEvent{Kind: RunStart, App: app.Name, Org: label})
+		var start time.Duration
+		if r.clock != nil {
+			start = r.clock()
+		}
+		c.res = r.runCMP(app, org, label)
+		var elapsed time.Duration
+		if r.clock != nil {
+			elapsed = r.clock() - start
+		}
+		r.emit(RunEvent{Kind: RunFinish, App: app.Name, Org: label,
+			IPC: c.res.Res.AggregateIPC, Elapsed: elapsed, Metrics: c.res.Snapshot()})
+	})
+	return c.res
+}
+
+// runCMP executes one (non-memoized) CMP simulation.
+func (r *Runner) runCMP(app workload.App, org Organization, label string) *CMPRunResult {
+	mem := memsys.NewMemory(org.blockBytes())
+	l2 := org.Factory(r.Model, mem)
+	probes := r.instrument(app.Name, label, l2)
+	sys, err := cmp.New(l2, cmp.Config{
+		Cores:      r.cmpCores(),
+		Sharing:    r.Sharing,
+		L1EnergyNJ: r.Model.L1NJ,
+		Queue: cmp.QueueConfig{
+			Banks:      8,
+			BlockBytes: org.blockBytes(),
+			Occupancy:  4,
+			Cores:      r.cmpCores(),
+		},
+	})
+	if err != nil {
+		// All inputs are runner-controlled; an error is a bug.
+		panic(fmt.Sprintf("sim: cmp system construction failed: %v", err))
+	}
+	srcs, err := sys.Sources(app, r.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("sim: cmp sources failed: %v", err))
+	}
+	res := sys.Run(srcs, r.Instructions)
+
+	out := &CMPRunResult{
+		App:          app.Name,
+		Org:          org.Key,
+		Cores:        r.cmpCores(),
+		Res:          res,
+		L2EnergyNJ:   l2.EnergyNJ(),
+		MemEnergyNJ:  mem.EnergyNJ(),
+		QueueMetrics: sys.Queue().Snapshot(),
+	}
+	for _, p := range probes {
+		if s, ok := p.(interface{ Snapshot() []stats.KV }); ok {
+			out.QueueMetrics = append(out.QueueMetrics, s.Snapshot()...)
+		}
+	}
+	r.closeProbes(probes)
+	return out
+}
+
+// PrefetchCMP submits every (app, org) CMP pair to the worker pool and
+// blocks until all are simulated; a no-op for serial runners.
+func (r *Runner) PrefetchCMP(apps []workload.App, orgs []Organization) {
+	tasks := make([]func(), 0, len(apps)*len(orgs))
+	for _, app := range apps {
+		for _, org := range orgs {
+			app, org := app, org
+			tasks = append(tasks, func() { r.RunCMP(app, org) })
+		}
+	}
+	r.fanOut(tasks)
+}
+
+// CMP compares the three shared-L2 organizations under multi-core load:
+// aggregate throughput, Jain's fairness over per-core IPC, queue
+// contention stalls per kilo-access, and coherence shoot-downs. This is
+// the repository's extension beyond the paper (the paper is
+// single-core); the sharing pattern and core count come from
+// WithCores/WithSharing.
+func (r *Runner) CMP() *Experiment {
+	orgs := []Organization{Base(), DNUCA(nuca.DefaultConfig()), NuRAPID(nurapid.DefaultConfig())}
+	r.PrefetchCMP(r.Apps, orgs)
+	cores := r.cmpCores()
+	t := stats.NewTable(
+		fmt.Sprintf("CMP: %d cores, %s workloads, shared L2", cores, r.Sharing),
+		"benchmark", "org", "agg IPC", "fairness", "stall/ka", "invals")
+	chart := vis.NewBarChart(fmt.Sprintf("Aggregate IPC at %d cores (mean over apps)", cores), "IPC")
+	metrics := map[string]float64{}
+	sumIPC := map[string]float64{}
+	for _, app := range r.Apps {
+		for _, org := range orgs {
+			res := r.RunCMP(app, org)
+			var accesses, stalls int64
+			for _, cs := range res.Res.PerCore {
+				accesses += cs.Accesses
+				stalls += cs.StallCycles
+			}
+			stallPerKA := 0.0
+			if accesses > 0 {
+				stallPerKA = float64(stalls) * 1000 / float64(accesses)
+			}
+			t.AddRow(app.Name, org.Key,
+				res.Res.AggregateIPC, res.Res.Fairness, stallPerKA,
+				float64(res.Res.Invalidations))
+			sumIPC[org.Key] += res.Res.AggregateIPC
+			metrics["ipc_"+app.Name+"_"+org.Key] = res.Res.AggregateIPC
+			metrics["fairness_"+app.Name+"_"+org.Key] = res.Res.Fairness
+		}
+	}
+	for _, org := range orgs {
+		mean := sumIPC[org.Key] / float64(len(r.Apps))
+		chart.AddRow(org.Key, mean)
+		metrics["mean_ipc_"+org.Key] = mean
+	}
+	return &Experiment{
+		ID:      "cmp",
+		Caption: fmt.Sprintf("Shared-L2 organizations at %d cores (%s)", cores, r.Sharing),
+		Table:   t,
+		Chart:   chart,
+		Metrics: metrics,
+	}
+}

@@ -29,7 +29,7 @@ func driveConflictHeavy(l2 memsys.LowerLevel, numSets, blockBytes, nTags, n int)
 		set := rng.Intn(4)
 		tag := rng.Intn(nTags)
 		addr := uint64(tag*numSets+set) * uint64(blockBytes)
-		res := l2.Access(now, addr, rng.Bool(0.3))
+		res := l2.Access(memsys.Req{Now: now, Addr: addr, Write: rng.Bool(0.3)})
 		now = res.DoneAt + int64(rng.Intn(8))
 	}
 }

@@ -468,6 +468,7 @@ func (r *Runner) ByID(id string) (*Experiment, error) {
 		"sweep-capacity": r.CapacitySweep,
 		"sweep-block":    r.BlockSweep,
 		"sweep-tech":     r.TechSweep,
+		"cmp":            r.CMP,
 	}
 	d, ok := drivers[id]
 	if !ok {

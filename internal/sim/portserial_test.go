@@ -42,7 +42,7 @@ func fillPartitionZero(t *testing.T, c *nurapid.Cache) (int64, func(set, tag int
 	nParts := 8 // framesPerGroup 128 / RestrictFrames 16
 	now := int64(0)
 	for i := 0; i < 64; i++ {
-		r := c.Access(now, addrOf((i%8)*nParts, i/8), false)
+		r := c.Access(memsys.Req{Now: now, Addr: addrOf((i%8)*nParts, i/8)})
 		now = r.DoneAt + 1
 	}
 	if got := c.Counters().Get("evictions"); got != 0 {
@@ -81,14 +81,14 @@ func TestAccessSerializesBehindDemotionRipple(t *testing.T) {
 	missAddr := addrOf(0, 8) // 9th tag of set 0: conflict miss
 
 	demBefore := rippled.Counters().Get("demotions")
-	rippled.Access(T, missAddr, false)
+	rippled.Access(memsys.Req{Now: T, Addr: missAddr, Write: false})
 	wantLinks := int64(cfg.NumDGroups - 1)
 	if got := rippled.Counters().Get("demotions") - demBefore; got != wantLinks {
 		t.Fatalf("probe miss rippled %d links, want %d", got, wantLinks)
 	}
 
-	hq := quiet.Access(T+1, hitAddr, false)
-	hr := rippled.Access(T+1, hitAddr, false)
+	hq := quiet.Access(memsys.Req{Now: T + 1, Addr: hitAddr, Write: false})
+	hr := rippled.Access(memsys.Req{Now: T + 1, Addr: hitAddr, Write: false})
 	if !hq.Hit || !hr.Hit || hq.Group != 0 || hr.Group != 0 {
 		t.Fatalf("probe hits not served from d-group 0: quiet %+v rippled %+v", hq, hr)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nurapid/internal/cacti"
+	"nurapid/internal/cmp"
 	"nurapid/internal/cpu"
 	"nurapid/internal/energy"
 	"nurapid/internal/memsys"
@@ -152,6 +153,12 @@ type Runner struct {
 	// Workers bounds the pool executing prefetched runs; <= 1 is serial.
 	Workers int
 
+	// Cores is the core count for CMP runs (RunCMP / the cmp
+	// experiment); <= 0 means 2. Single-core experiments ignore it.
+	Cores int
+	// Sharing is the CMP workload sharing pattern (zero value: shared).
+	Sharing cmp.Sharing
+
 	observer Observer
 	obsMu    sync.Mutex
 	clock    func() time.Duration
@@ -161,8 +168,9 @@ type Runner struct {
 	probeMu  sync.Mutex
 	probeErr error
 
-	mu   sync.Mutex
-	memo map[string]*memoCell
+	mu      sync.Mutex
+	memo    map[string]*memoCell
+	cmpMemo map[string]*cmpCell
 }
 
 // memoCell is one singleflight slot: the once gates the single
@@ -228,7 +236,7 @@ func (r *Runner) Run(app workload.App, org Organization) *RunResult {
 		mem := memsys.NewMemory(org.blockBytes())
 		l2 := org.Factory(r.Model, mem)
 		probes := r.instrument(app.Name, org.Key, l2)
-		core := cpu.MustNew(cpu.DefaultConfig(), l2, r.Model.L1NJ)
+		core := cpu.MustNew(l2, cpu.WithL1EnergyNJ(r.Model.L1NJ))
 		gen := workload.MustNewGenerator(app, r.Seed)
 		cres := core.Run(gen, r.Instructions)
 

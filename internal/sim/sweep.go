@@ -162,7 +162,7 @@ func (r *Runner) runScaledVariant(app workload.App, scale float64, isNurapid boo
 			l2 = nuca.MustNew(cfg, model, mem)
 		}
 		probes := r.instrument(app.Name, label, l2)
-		core := cpu.MustNew(cpu.DefaultConfig(), l2, model.L1NJ)
+		core := cpu.MustNew(l2, cpu.WithL1EnergyNJ(model.L1NJ))
 		cres := core.Run(workload.MustNewGenerator(app, r.Seed), r.Instructions)
 		res := &RunResult{
 			App:         app.Name,

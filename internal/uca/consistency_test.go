@@ -20,11 +20,11 @@ func TestUniformMissCounter(t *testing.T) {
 	u, _ := newIdeal(t)
 	now := int64(0)
 	for i := 0; i < 16; i++ {
-		r := u.Access(now, uint64(i)*128, false) // 16 cold misses
+		r := u.Access(memsys.Req{Now: now, Addr: uint64(i) * 128, Write: false}) // 16 cold misses
 		now = r.DoneAt
 	}
 	for i := 0; i < 4; i++ {
-		r := u.Access(now, uint64(i)*128, false) // 4 hits
+		r := u.Access(memsys.Req{Now: now, Addr: uint64(i) * 128, Write: false}) // 4 hits
 		now = r.DoneAt
 	}
 	ctrs := u.Counters()
@@ -47,7 +47,7 @@ func TestHierarchyL2MissCounter(t *testing.T) {
 	now := int64(0)
 	addrs := []uint64{0, 128, 256, 0, 128, 4096, 0}
 	for _, a := range addrs {
-		r := h.Access(now, a, false)
+		r := h.Access(memsys.Req{Now: now, Addr: a, Write: false})
 		now = r.DoneAt
 	}
 	ctrs := h.Counters()
@@ -76,7 +76,7 @@ func TestCounterParityAcrossOrganizations(t *testing.T) {
 	for _, org := range orgs {
 		now := int64(0)
 		for i := 0; i < 12; i++ {
-			r := org.Access(now, uint64(i%5)*128, i%3 == 0)
+			r := org.Access(memsys.Req{Now: now, Addr: uint64(i%5) * 128, Write: i%3 == 0})
 			now = r.DoneAt
 		}
 		for _, name := range []string{"accesses", "misses"} {
@@ -96,7 +96,7 @@ func fillL3Set(h *Hierarchy, now *int64, base uint64) uint64 {
 	geo := h.L3().Geometry()
 	stride := uint64(geo.NumSets() * geo.BlockBytes)
 	for i := 0; i < geo.Assoc; i++ {
-		r := h.Access(*now, base+uint64(i)*stride, false)
+		r := h.Access(memsys.Req{Now: *now, Addr: base + uint64(i)*stride, Write: false})
 		*now = r.DoneAt
 	}
 	return stride
@@ -122,7 +122,7 @@ func TestWritebackToL3DoesNotRefreshRecency(t *testing.T) {
 	// One more conflicting demand miss evicts the set's LRU block, which
 	// must still be addr 0: the writeback was not a use.
 	assoc := h.L3().Geometry().Assoc
-	r := h.Access(now, uint64(assoc)*stride, false)
+	r := h.Access(memsys.Req{Now: now, Addr: uint64(assoc) * stride, Write: false})
 	now = r.DoneAt
 	if h.L3().Contains(0) {
 		t.Fatal("writeback refreshed recency: addr 0 survived the next eviction")
@@ -148,20 +148,20 @@ func TestDemandHitRefreshesL3Recency(t *testing.T) {
 		if i%ratio == 0 {
 			continue // would alias into L3 set 0
 		}
-		r := h.Access(now, i*l2stride, false)
+		r := h.Access(memsys.Req{Now: now, Addr: i * l2stride, Write: false})
 		now = r.DoneAt
 		evicted++
 	}
 	if h.L2().Contains(0) {
 		t.Fatal("setup: addr 0 still resident in the L2")
 	}
-	r := h.Access(now, 0, false)
+	r := h.Access(memsys.Req{Now: now, Addr: 0, Write: false})
 	now = r.DoneAt
 	if !r.Hit || r.Group != 1 {
 		t.Fatalf("setup: access of addr 0 was not an L3 demand hit (hit=%v group=%d)", r.Hit, r.Group)
 	}
 	assoc := h.L3().Geometry().Assoc
-	r = h.Access(now, uint64(assoc)*stride, false)
+	r = h.Access(memsys.Req{Now: now, Addr: uint64(assoc) * stride, Write: false})
 	now = r.DoneAt
 	if !h.L3().Contains(0) {
 		t.Fatal("demand hit did not refresh recency: addr 0 was evicted")

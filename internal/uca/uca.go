@@ -112,11 +112,12 @@ func (u *Uniform) SetProbe(p obs.Probe) { u.probe = p }
 // Miss followed by Evict (when a valid victim was displaced) and Place.
 //
 //nurapid:hotpath
-func (u *Uniform) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+func (u *Uniform) Access(req memsys.Req) memsys.AccessResult {
+	now, addr, write := req.Now, req.Addr, req.Write
 	start := u.port.Acquire(now, u.occupancy)
 	u.hot.accesses++
 	if u.probe != nil {
-		u.probe.Emit(obs.Access(now, addr, write))
+		u.probe.Emit(obs.Access(now, addr, write, req.Core))
 	}
 	out := u.c.Access(addr, write)
 	if out.Hit {
@@ -175,9 +176,11 @@ func (u *Uniform) Counters() *stats.Counters {
 // AccessMany implements memsys.BatchAccessor.
 //
 //nurapid:hotpath
-func (u *Uniform) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+func (u *Uniform) AccessMany(now int64, reqs []memsys.Req, out []memsys.AccessResult) int64 {
 	for i := range reqs {
-		r := u.Access(now, reqs[i].Addr, reqs[i].Write)
+		q := reqs[i]
+		q.Now = now
+		r := u.Access(q)
 		if out != nil {
 			out[i] = r
 		}
@@ -254,11 +257,12 @@ func (h *Hierarchy) SetProbe(p obs.Probe) { h.probe = p }
 // Evict, Place on the outermost miss path.
 //
 //nurapid:hotpath
-func (h *Hierarchy) Access(now int64, addr uint64, write bool) memsys.AccessResult {
+func (h *Hierarchy) Access(req memsys.Req) memsys.AccessResult {
+	now, addr, write := req.Now, req.Addr, req.Write
 	start := h.l2Port.Acquire(now, 4)
 	h.hot.accesses++
 	if h.probe != nil {
-		h.probe.Emit(obs.Access(now, addr, write))
+		h.probe.Emit(obs.Access(now, addr, write, req.Core))
 	}
 	o2 := h.l2.Access(addr, write)
 	if o2.Hit {
@@ -367,9 +371,11 @@ func (h *Hierarchy) Counters() *stats.Counters {
 // AccessMany implements memsys.BatchAccessor.
 //
 //nurapid:hotpath
-func (h *Hierarchy) AccessMany(now int64, reqs []memsys.Request, out []memsys.AccessResult) int64 {
+func (h *Hierarchy) AccessMany(now int64, reqs []memsys.Req, out []memsys.AccessResult) int64 {
 	for i := range reqs {
-		r := h.Access(now, reqs[i].Addr, reqs[i].Write)
+		q := reqs[i]
+		q.Now = now
+		r := h.Access(q)
 		if out != nil {
 			out[i] = r
 		}

@@ -4,16 +4,17 @@ import (
 	"testing"
 
 	"nurapid/internal/mathx"
+	"nurapid/internal/memsys"
 )
 
 func TestUniformWriteHitDirties(t *testing.T) {
 	u, mem := newIdeal(t)
-	u.Access(0, 0x500, false)
-	u.Access(1000, 0x500, true) // write hit
+	u.Access(memsys.Req{Now: 0, Addr: 0x500, Write: false})
+	u.Access(memsys.Req{Now: 1000, Addr: 0x500, Write: true}) // write hit
 	geo := u.Cache().Geometry()
 	stride := uint64(geo.NumSets() * geo.BlockBytes)
 	for i := 1; i <= geo.Assoc; i++ {
-		u.Access(int64(i)*5000, 0x500+uint64(i)*stride, false)
+		u.Access(memsys.Req{Now: int64(i) * 5000, Addr: 0x500 + uint64(i)*stride, Write: false})
 	}
 	if mem.Writes != 1 {
 		t.Fatalf("memory writes = %d, want 1 (write-hit dirtied the line)", mem.Writes)
@@ -24,7 +25,7 @@ func TestUniformMissCountsInDistribution(t *testing.T) {
 	u, _ := newIdeal(t)
 	rng := mathx.NewRNG(3)
 	for i := 0; i < 5000; i++ {
-		u.Access(int64(i)*50, uint64(rng.Intn(1<<24))&^0x7F, rng.Bool(0.2))
+		u.Access(memsys.Req{Now: int64(i) * 50, Addr: uint64(rng.Intn(1<<24)) &^ 0x7F, Write: rng.Bool(0.2)})
 	}
 	d := u.Distribution()
 	if d.Total() != u.Counters().Get("accesses") {
@@ -39,9 +40,9 @@ func TestHierarchyL3PortSeparateFromL2(t *testing.T) {
 	h, _ := newBase(t)
 	// Two simultaneous L2 hits: only the L2 port serializes them (4
 	// cycles apart), the L3 port stays untouched.
-	h.Access(0, 0x4000, false)
-	r1 := h.Access(100000, 0x4000, false)
-	r2 := h.Access(100000, 0x4000, false)
+	h.Access(memsys.Req{Now: 0, Addr: 0x4000, Write: false})
+	r1 := h.Access(memsys.Req{Now: 100000, Addr: 0x4000, Write: false})
+	r2 := h.Access(memsys.Req{Now: 100000, Addr: 0x4000, Write: false})
 	if r2.DoneAt-r1.DoneAt != 4 {
 		t.Fatalf("L2 hits must pipeline at 4 cycles, got %d", r2.DoneAt-r1.DoneAt)
 	}
@@ -51,7 +52,7 @@ func TestHierarchyCountersConsistent(t *testing.T) {
 	h, _ := newBase(t)
 	rng := mathx.NewRNG(5)
 	for i := 0; i < 20000; i++ {
-		h.Access(int64(i)*40, uint64(rng.Intn(1<<25))&^0x7F, rng.Bool(0.25))
+		h.Access(memsys.Req{Now: int64(i) * 40, Addr: uint64(rng.Intn(1<<25)) &^ 0x7F, Write: rng.Bool(0.25)})
 	}
 	d := h.Distribution()
 	ctr := h.Counters()
@@ -70,7 +71,7 @@ func TestHierarchyInclusionTendency(t *testing.T) {
 	// A block that just missed everything must be resident in both
 	// levels afterwards.
 	h, _ := newBase(t)
-	h.Access(0, 0xABC00, false)
+	h.Access(memsys.Req{Now: 0, Addr: 0xABC00, Write: false})
 	if !h.L2().Contains(0xABC00) || !h.L3().Contains(0xABC00) {
 		t.Fatal("fill must populate both levels")
 	}
@@ -81,7 +82,7 @@ func TestUniformNameAndCounters(t *testing.T) {
 	if u.Name() != "ideal" {
 		t.Fatalf("name = %q", u.Name())
 	}
-	u.Access(0, 0x100, false)
+	u.Access(memsys.Req{Now: 0, Addr: 0x100, Write: false})
 	if u.Counters().Get("accesses") != 1 {
 		t.Fatal("accesses counter wrong")
 	}

@@ -16,11 +16,11 @@ func newIdeal(t *testing.T) (*Uniform, *memsys.Memory) {
 
 func TestIdealHitLatency(t *testing.T) {
 	u, _ := newIdeal(t)
-	r := u.Access(0, 0x1000, false)
+	r := u.Access(memsys.Req{Now: 0, Addr: 0x1000, Write: false})
 	if r.Hit {
 		t.Fatal("cold access must miss")
 	}
-	r = u.Access(r.DoneAt, 0x1000, false)
+	r = u.Access(memsys.Req{Now: r.DoneAt, Addr: 0x1000, Write: false})
 	if !r.Hit {
 		t.Fatal("second access must hit")
 	}
@@ -31,7 +31,7 @@ func TestIdealHitLatency(t *testing.T) {
 
 func TestIdealMissGoesToMemory(t *testing.T) {
 	u, mem := newIdeal(t)
-	r := u.Access(100, 0x2000, false)
+	r := u.Access(memsys.Req{Now: 100, Addr: 0x2000, Write: false})
 	// Miss detected after the 8-cycle tag probe, then 194 memory cycles.
 	want := int64(100 + 8 + 194)
 	if r.DoneAt != want {
@@ -47,9 +47,9 @@ func TestIdealMissGoesToMemory(t *testing.T) {
 
 func TestIdealPortSerializes(t *testing.T) {
 	u, _ := newIdeal(t)
-	u.Access(0, 0x1000, false)
-	u.Access(0, 0x1000, false) // hit, issued at the same cycle
-	r := u.Access(0, 0x1000, false)
+	u.Access(memsys.Req{Now: 0, Addr: 0x1000, Write: false})
+	u.Access(memsys.Req{Now: 0, Addr: 0x1000, Write: false}) // hit, issued at the same cycle
+	r := u.Access(memsys.Req{Now: 0, Addr: 0x1000, Write: false})
 	// The pipelined port issues every 4 cycles: the miss holds [0,4),
 	// the second access starts at 4, the third at 8 and completes 14
 	// cycles later.
@@ -62,9 +62,9 @@ func TestIdealDirtyWriteback(t *testing.T) {
 	u, mem := newIdeal(t)
 	geo := u.Cache().Geometry()
 	stride := uint64(geo.NumSets() * geo.BlockBytes)
-	u.Access(0, 0, true) // dirty block in set 0
+	u.Access(memsys.Req{Now: 0, Addr: 0, Write: true}) // dirty block in set 0
 	for i := 1; i <= geo.Assoc; i++ {
-		u.Access(int64(i)*1000, uint64(i)*stride, false)
+		u.Access(memsys.Req{Now: int64(i) * 1000, Addr: uint64(i) * stride, Write: false})
 	}
 	if mem.Writes != 1 {
 		t.Fatalf("memory writes = %d, want 1 (dirty victim)", mem.Writes)
@@ -76,8 +76,8 @@ func TestIdealDirtyWriteback(t *testing.T) {
 
 func TestIdealDistributionAndEnergy(t *testing.T) {
 	u, _ := newIdeal(t)
-	u.Access(0, 0x40, false)
-	u.Access(1000, 0x40, false)
+	u.Access(memsys.Req{Now: 0, Addr: 0x40, Write: false})
+	u.Access(memsys.Req{Now: 1000, Addr: 0x40, Write: false})
 	d := u.Distribution()
 	if d.HitCount(0) != 1 || d.MissCount() != 1 {
 		t.Fatalf("distribution hits=%d misses=%d", d.HitCount(0), d.MissCount())
@@ -101,8 +101,8 @@ func newBase(t *testing.T) (*Hierarchy, *memsys.Memory) {
 
 func TestHierarchyL2Hit(t *testing.T) {
 	h, _ := newBase(t)
-	h.Access(0, 0x4000, false)
-	r := h.Access(10000, 0x4000, false)
+	h.Access(memsys.Req{Now: 0, Addr: 0x4000, Write: false})
+	r := h.Access(memsys.Req{Now: 10000, Addr: 0x4000, Write: false})
 	if !r.Hit || r.Group != 0 {
 		t.Fatalf("expected L2 hit, got %+v", r)
 	}
@@ -113,15 +113,15 @@ func TestHierarchyL2Hit(t *testing.T) {
 
 func TestHierarchyL3Hit(t *testing.T) {
 	h, _ := newBase(t)
-	h.Access(0, 0x4000, false)
+	h.Access(memsys.Req{Now: 0, Addr: 0x4000, Write: false})
 	// Evict 0x4000 from the 1-MB L2 with 8 conflicting blocks; the 8-MB
 	// L3 keeps all of them (its sets are 8x larger... same assoc, more
 	// sets, so these map to distinct L3 sets or fewer conflicts).
 	l2stride := uint64(h.L2().Geometry().NumSets() * 128)
 	for i := 1; i <= 8; i++ {
-		h.Access(int64(i)*1000, 0x4000+uint64(i)*l2stride, false)
+		h.Access(memsys.Req{Now: int64(i) * 1000, Addr: 0x4000 + uint64(i)*l2stride, Write: false})
 	}
-	r := h.Access(100000, 0x4000, false)
+	r := h.Access(memsys.Req{Now: 100000, Addr: 0x4000, Write: false})
 	if !r.Hit || r.Group != 1 {
 		t.Fatalf("expected L3 hit, got %+v", r)
 	}
@@ -132,7 +132,7 @@ func TestHierarchyL3Hit(t *testing.T) {
 
 func TestHierarchyMissTiming(t *testing.T) {
 	h, mem := newBase(t)
-	r := h.Access(500, 0x8000, false)
+	r := h.Access(memsys.Req{Now: 500, Addr: 0x8000, Write: false})
 	if r.Hit {
 		t.Fatal("cold access must miss")
 	}
@@ -148,10 +148,10 @@ func TestHierarchyMissTiming(t *testing.T) {
 
 func TestHierarchyDirtyL2VictimLandsInL3(t *testing.T) {
 	h, mem := newBase(t)
-	h.Access(0, 0x4000, true) // dirty in both L2 and L3
+	h.Access(memsys.Req{Now: 0, Addr: 0x4000, Write: true}) // dirty in both L2 and L3
 	l2stride := uint64(h.L2().Geometry().NumSets() * 128)
 	for i := 1; i <= 8; i++ {
-		h.Access(int64(i)*1000, 0x4000+uint64(i)*l2stride, false)
+		h.Access(memsys.Req{Now: int64(i) * 1000, Addr: 0x4000 + uint64(i)*l2stride, Write: false})
 	}
 	// The dirty victim must have been absorbed by the L3, not memory.
 	if mem.Writes != 0 {
@@ -170,8 +170,8 @@ func TestHierarchyDirtyL2VictimLandsInL3(t *testing.T) {
 
 func TestHierarchyDistribution(t *testing.T) {
 	h, _ := newBase(t)
-	h.Access(0, 0x100, false)    // miss
-	h.Access(1000, 0x100, false) // L2 hit
+	h.Access(memsys.Req{Now: 0, Addr: 0x100, Write: false})    // miss
+	h.Access(memsys.Req{Now: 1000, Addr: 0x100, Write: false}) // L2 hit
 	d := h.Distribution()
 	if d.HitCount(0) != 1 || d.MissCount() != 1 {
 		t.Fatalf("distribution: %v", d)

@@ -19,8 +19,8 @@
 //
 //	cache, mem, err := nurapid.New(nurapid.DefaultConfig())
 //	if err != nil { ... }
-//	r := cache.Access(0, 0x1000_0000, false) // cycle 0, read
-//	_ = mem                                   // backing memory model
+//	r := cache.Access(nurapid.Req{Now: 0, Addr: 0x1000_0000}) // cycle 0, read
+//	_ = mem                                                    // backing memory model
 //
 // Full-system comparison (parallel across all cores, byte-identical
 // output to a serial run at the same seed):
@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"nurapid/internal/cacti"
+	"nurapid/internal/cmp"
 	"nurapid/internal/cpu"
 	"nurapid/internal/memsys"
 	"nurapid/internal/nuca"
@@ -89,6 +90,9 @@ const (
 type (
 	// Memory is the fixed-latency main-memory model.
 	Memory = memsys.Memory
+	// Req is one lower-level cache request (issue cycle, block address,
+	// direction, requesting core).
+	Req = memsys.Req
 	// AccessResult reports one lower-level cache access.
 	AccessResult = memsys.AccessResult
 	// LowerLevel is the interface all L2 organizations implement.
@@ -124,6 +128,47 @@ type (
 	// Source produces a dynamic instruction stream.
 	Source = workload.Source
 )
+
+// CMP (multi-core) types. The CMP front end is the repository's
+// extension beyond the paper's single-core evaluation: N cores with
+// private L1s share one lower-level organization through a
+// deterministic bank-queue model with coherence-lite invalidation.
+type (
+	// CMPConfig parameterizes a multi-core system (cores, sharing
+	// pattern, queue model).
+	CMPConfig = cmp.Config
+	// CMPSystem is N lockstep cores over one shared lower level.
+	CMPSystem = cmp.System
+	// CMPResult summarizes one multi-core run (per-core results,
+	// aggregate IPC, Jain fairness, contention stalls).
+	CMPResult = cmp.Result
+	// CMPQueueConfig parameterizes the shared-L2 bank queues.
+	CMPQueueConfig = cmp.QueueConfig
+	// Sharing selects the CMP workload pattern (SharedWorkloads or
+	// PrivateWorkloads).
+	Sharing = cmp.Sharing
+	// CMPRunResult captures one memoized multi-core Runner simulation.
+	CMPRunResult = sim.CMPRunResult
+)
+
+// CMP workload sharing patterns.
+const (
+	// SharedWorkloads gives every core the identical address stream.
+	SharedWorkloads = cmp.Shared
+	// PrivateWorkloads gives each core a disjoint address space.
+	PrivateWorkloads = cmp.Private
+)
+
+// NewCMP builds a multi-core system over the shared organization l2.
+func NewCMP(l2 LowerLevel, cfg CMPConfig) (*CMPSystem, error) {
+	return cmp.New(l2, cfg)
+}
+
+// WithCores sets the core count for the Runner's CMP experiment.
+func WithCores(n int) RunnerOption { return sim.WithCores(n) }
+
+// WithSharing selects the CMP workload sharing pattern.
+func WithSharing(s Sharing) RunnerOption { return sim.WithSharing(s) }
 
 // CPU types.
 type (
@@ -230,7 +275,7 @@ func DefaultCPUConfig() CPUConfig { return cpu.DefaultConfig() }
 
 // NewCPU builds an out-of-order core driving the given lower level.
 func NewCPU(cfg CPUConfig, l2 LowerLevel) (*CPU, error) {
-	return cpu.New(cfg, l2, cacti.Default().L1NJ)
+	return cpu.New(l2, cpu.WithConfig(cfg), cpu.WithL1EnergyNJ(cacti.Default().L1NJ))
 }
 
 // NewRunner builds an experiment runner: by default the calibrated

@@ -10,11 +10,11 @@ func TestNewDefault(t *testing.T) {
 	if c == nil || mem == nil {
 		t.Fatal("nil cache or memory")
 	}
-	r := c.Access(0, 0x1000_0000, false)
+	r := c.Access(Req{Now: 0, Addr: 0x1000_0000, Write: false})
 	if r.Hit {
 		t.Fatal("cold access must miss")
 	}
-	r = c.Access(10_000, 0x1000_0000, false)
+	r = c.Access(Req{Now: 10_000, Addr: 0x1000_0000, Write: false})
 	if !r.Hit || r.Group != 0 {
 		t.Fatalf("want fastest-group hit, got %+v", r)
 	}
@@ -33,7 +33,7 @@ func TestNewDNUCA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Access(0, 0x2000, false)
+	c.Access(Req{Now: 0, Addr: 0x2000, Write: false})
 	if g := c.GroupOf(0x2000); g != c.NumGroups()-1 {
 		t.Fatalf("D-NUCA initial placement in group %d, want slowest", g)
 	}
@@ -41,7 +41,7 @@ func TestNewDNUCA(t *testing.T) {
 
 func TestNewBaseHierarchy(t *testing.T) {
 	h, mem := NewBaseHierarchy()
-	h.Access(0, 0x4000, false)
+	h.Access(Req{Now: 0, Addr: 0x4000, Write: false})
 	if mem.Accesses != 1 {
 		t.Fatalf("memory accesses = %d", mem.Accesses)
 	}
