@@ -67,11 +67,12 @@ bench-cmp:
 	BENCH_CMP_JSON=$(CURDIR)/BENCH_cmp.json $(GO) test -count=1 -run '^TestBenchCmpSmoke$$' -v .
 
 # obs-bench: measure the disabled-probe overhead of the observability
-# layer on the Fig6 workload (probe-free vs nil-probe factory vs full
-# Collector+Sampler probes), assert the rendered output stays
-# byte-identical, and record wall times + overhead ratios in
-# BENCH_obs.json. The <3% disabled-probe budget is asserted in CI via
-# this record.
+# layer on the Fig6 workload and on the 2-core shared-L2 CMP experiment
+# (probe-free vs nil-probe factory vs full Collector+Sampler probes),
+# assert the rendered output stays byte-identical, and record wall
+# times + overhead ratios in BENCH_obs.json. The queued CMP path adds
+# the Enqueue/Issue/Inval emission sites; its <3% disabled-probe budget
+# is asserted by the test itself.
 obs-bench:
 	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -count=1 -run '^TestBenchObsSmoke$$' -v .
 

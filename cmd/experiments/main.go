@@ -162,11 +162,15 @@ func fanOut(obs []sim.Observer) sim.Observer {
 
 // expvarObserver publishes run-progress counters at /debug/vars:
 // sim_runs_started / sim_runs_finished track executed (non-memoized)
-// simulations, sim_last_run names the most recent one.
+// simulations, sim_last_run names the most recent one, and
+// sim_last_metrics carries its full metrics snapshot (including the
+// obs_ts_* time-series registry of probed CMP runs — waterfall
+// components, fairness, per-bank contention).
 func expvarObserver() sim.Observer {
 	started := expvar.NewInt("sim_runs_started")
 	finished := expvar.NewInt("sim_runs_finished")
 	last := expvar.NewString("sim_last_run")
+	metrics := expvar.NewMap("sim_last_metrics")
 	return sim.ObserverFunc(func(e sim.RunEvent) {
 		switch e.Kind {
 		case sim.RunStart:
@@ -174,6 +178,12 @@ func expvarObserver() sim.Observer {
 		case sim.RunFinish:
 			finished.Add(1)
 			last.Set(e.App + "/" + e.Org)
+			metrics.Init()
+			for _, kv := range e.Metrics {
+				f := new(expvar.Float)
+				f.Set(kv.Value)
+				metrics.Set(kv.Name, f)
+			}
 		}
 	})
 }

@@ -13,6 +13,20 @@
 //	nurapidtrace -epoch 1024 run.jsonl      # finer occupancy timeline
 //	nurapidtrace < run.jsonl                # read one trace from stdin
 //
+// CMP traces (experiments -cmp -trace traces) carry queue-side events —
+// enqueue, issue, inval — that the single-core report ignores; -cmp
+// switches to the contention report built on the windowed time-series
+// registry:
+//
+//	nurapidtrace -cmp traces/mcf__cmp2-shared-nurapid-4g-next-random.jsonl
+//	nurapidtrace -cmp -window 4096 run.jsonl   # finer timeline windows
+//
+// The -cmp report renders the per-core latency-breakdown table, the
+// per-bank contention summary, the bank-wait heatmap (one row per
+// active window, one column per bank), and the queue-depth timeline.
+// The timeline tables retain the last 64 active windows; evicted
+// windows stay in the all-time tables.
+//
 // Each input trace gets its own report; outputs follow input order, so
 // a fixed argument list renders deterministically.
 package main
@@ -29,14 +43,22 @@ import (
 
 func main() {
 	var (
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		epoch = flag.Int64("epoch", obs.DefaultEpochAccesses, "occupancy sample epoch, in accesses")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		epoch  = flag.Int64("epoch", obs.DefaultEpochAccesses, "occupancy sample epoch, in accesses")
+		cmp    = flag.Bool("cmp", false, "render the CMP contention report (queue/bank/coherence events)")
+		window = flag.Int64("window", obs.DefaultWindowCycles, "CMP timeline window, in cycles")
 	)
 	flag.Parse()
 
+	render := func(w io.Writer, name string, r io.Reader) error {
+		if *cmp {
+			return reportCMP(w, name, r, *window, *csv)
+		}
+		return report(w, name, r, *epoch, *csv)
+	}
 	inputs := flag.Args()
 	if len(inputs) == 0 {
-		if err := report(os.Stdout, "<stdin>", os.Stdin, *epoch, *csv); err != nil {
+		if err := render(os.Stdout, "<stdin>", os.Stdin); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -51,7 +73,7 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		err = report(os.Stdout, path, f, *epoch, *csv)
+		err = render(os.Stdout, path, f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
@@ -107,6 +129,135 @@ func report(w io.Writer, name string, r io.Reader, epoch int64, csv bool) error 
 		return fmt.Errorf("empty trace: no events decoded")
 	}
 	return nil
+}
+
+// reportCMP decodes one trace into the windowed time-series registry
+// and renders the CMP contention report. No latency profile is
+// installed (a trace does not carry the organization's timing model),
+// so the registry runs in histogram/contention mode: per-core latency
+// comes from observed hit latencies, and the waterfall stays with the
+// live harvest (experiments -cmp, obs_ts_wf_* metrics).
+//
+// Degenerate inputs follow report's contract: truncated traces render
+// the decoded prefix and then error.
+func reportCMP(w io.Writer, name string, r io.Reader, window int64, csv bool) error {
+	coll := obs.NewCollector()
+	ts := obs.NewTimeSeries("ts", window)
+	events := 0
+	decErr := obs.DecodeTrace(r, func(e obs.Event) error {
+		events++
+		coll.Emit(e)
+		ts.Emit(e)
+		return nil
+	})
+	ts.Flush()
+	tables := []*stats.Table{
+		countersTable(name, coll.Counters()),
+		coreBreakdownTable(ts),
+		bankContentionTable(ts),
+		bankHeatmapTable(ts, "queue wait per bank (cycles)",
+			func(ws obs.WindowStat) []int64 { return ws.PerBankWaitCycles }),
+		bankHeatmapTable(ts, "queue-depth high-water mark per bank",
+			func(ws obs.WindowStat) []int64 { return ws.PerBankDepthHWM }),
+		windowTable(ts),
+	}
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		var err error
+		if csv {
+			err = t.WriteCSV(w)
+		} else {
+			err = t.WriteText(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if decErr != nil {
+		return fmt.Errorf("truncated or corrupt trace (%d events decoded): %w", events, decErr)
+	}
+	if events == 0 {
+		return fmt.Errorf("empty trace: no events decoded")
+	}
+	return nil
+}
+
+// coreBreakdownTable renders each core's all-time view of the shared
+// level: access and hit counts, absorbed shoot-downs, queue wait, and
+// mean end-to-end latency over the observable samples.
+func coreBreakdownTable(ts *obs.TimeSeries) *stats.Table {
+	t := stats.NewTable("per-core latency breakdown (all-time)",
+		"core", "accesses", "hits", "invals", "qwait", "qwait/acc", "mean lat")
+	for i, c := range ts.CoreStats() {
+		meanWait, meanLat := 0.0, 0.0
+		if c.Accesses > 0 {
+			meanWait = float64(c.QueueWaitCycles) / float64(c.Accesses)
+		}
+		if c.LatencySamples > 0 {
+			meanLat = float64(c.LatencyCycles) / float64(c.LatencySamples)
+		}
+		t.AddRow(i, c.Accesses, c.Hits, c.Invals, c.QueueWaitCycles, meanWait, meanLat)
+	}
+	return t
+}
+
+// bankContentionTable renders each queue bank's all-time contention:
+// traffic, total and mean wait, and the deepest queue ever observed.
+func bankContentionTable(ts *obs.TimeSeries) *stats.Table {
+	t := stats.NewTable("per-bank contention (all-time)",
+		"bank", "enqueues", "wait", "wait/enq", "depth hwm")
+	for i, b := range ts.BankStats() {
+		mean := 0.0
+		if b.Enqueues > 0 {
+			mean = float64(b.WaitCycles) / float64(b.Enqueues)
+		}
+		t.AddRow(i, b.Enqueues, b.WaitCycles, mean, b.DepthHWM)
+	}
+	return t
+}
+
+// bankHeatmapTable renders a per-window × per-bank matrix: one row per
+// retained active window, one column per bank. The registry's ring
+// keeps the last 64 active windows; the title says so because a long
+// run's early windows are evicted from the timeline (their traffic
+// stays in the all-time tables).
+func bankHeatmapTable(ts *obs.TimeSeries, what string, cell func(obs.WindowStat) []int64) *stats.Table {
+	banks := len(ts.BankStats())
+	headers := []string{"window"}
+	for b := 0; b < banks; b++ {
+		headers = append(headers, fmt.Sprintf("bank_%d", b))
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("%s per %d-cycle window (last 64 active windows)", what, ts.EpochCycles()),
+		headers...)
+	for _, ws := range ts.Windows() {
+		row := []any{ws.Epoch}
+		for b := 0; b < banks; b++ {
+			var v int64
+			if b < len(cell(ws)) {
+				v = cell(ws)[b]
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// windowTable renders the per-window activity timeline: accesses, hits,
+// and rolling Jain fairness over per-core accesses.
+func windowTable(ts *obs.TimeSeries) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("window activity per %d-cycle window (last 64 active windows)", ts.EpochCycles()),
+		"window", "accesses", "hits", "fairness")
+	for _, ws := range ts.Windows() {
+		t.AddRow(ws.Epoch, ws.Accesses, ws.Hits, ws.Fairness)
+	}
+	return t
 }
 
 // countersTable renders the collector's event counters, sorted by name.

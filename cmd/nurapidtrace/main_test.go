@@ -71,3 +71,92 @@ func TestReportWholeTrace(t *testing.T) {
 		t.Fatalf("events missing from report:\n%s", out.String())
 	}
 }
+
+// TestReportCMPEmptyTrace pins the -cmp degenerate-input contract,
+// mirroring the single-core report: headers-only tables plus a non-nil
+// error naming the empty trace.
+func TestReportCMPEmptyTrace(t *testing.T) {
+	for _, csv := range []bool{false, true} {
+		var out strings.Builder
+		err := reportCMP(&out, "empty.jsonl", strings.NewReader(""), obs.DefaultWindowCycles, csv)
+		if err == nil {
+			t.Fatalf("csv=%v: empty trace must return an error", csv)
+		}
+		if !strings.Contains(err.Error(), "empty trace") {
+			t.Fatalf("csv=%v: error %q does not name the empty trace", csv, err)
+		}
+		want := "per-bank contention" // text table title
+		if csv {
+			want = "counter,count" // CSV header row
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("csv=%v: headers-only report not rendered:\n%s", csv, out.String())
+		}
+	}
+}
+
+// TestReportCMPTruncatedTrace checks the shared truncation contract on
+// the -cmp path: the decoded prefix still renders, the error names the
+// cut.
+func TestReportCMPTruncatedTrace(t *testing.T) {
+	trace := `{"k":"enqueue","t":0,"addr":4096,"bank":1,"depth":1}
+{"k":"issue","t":4,"bank":1,"lat":4}
+{"k":"access","t":4,"ad`
+	var out strings.Builder
+	err := reportCMP(&out, "trunc.jsonl", strings.NewReader(trace), obs.DefaultWindowCycles, false)
+	if err == nil {
+		t.Fatal("truncated trace must return an error")
+	}
+	if !strings.Contains(err.Error(), "truncated or corrupt") {
+		t.Fatalf("error %q does not flag the truncation", err)
+	}
+	if !strings.Contains(err.Error(), "2 events decoded") {
+		t.Fatalf("error %q does not report the decoded prefix length", err)
+	}
+	if !strings.Contains(out.String(), "enqueues") {
+		t.Fatalf("prefix events missing from the report:\n%s", out.String())
+	}
+}
+
+// TestReportCMPWholeTrace drives one full queued access window through
+// the -cmp report and checks the contention tables reflect it: the
+// enqueue lands in bank 1's row with its queue wait, the access and
+// shoot-down land in the per-core breakdown.
+func TestReportCMPWholeTrace(t *testing.T) {
+	trace := `{"k":"enqueue","t":0,"addr":4096,"bank":1,"depth":1,"w":true,"core":1}
+{"k":"issue","t":4,"bank":1,"lat":4,"core":1}
+{"k":"access","t":4,"addr":4096,"w":true,"core":1}
+{"k":"hit","t":4,"g":1,"lat":21}
+{"k":"inval","t":25,"addr":4096}
+`
+	var out strings.Builder
+	if err := reportCMP(&out, "ok.jsonl", strings.NewReader(trace), obs.DefaultWindowCycles, false); err != nil {
+		t.Fatalf("complete trace reported error: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"per-core latency breakdown",
+		"per-bank contention",
+		"queue wait per bank",
+		"queue-depth high-water mark per bank",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table %q missing from report:\n%s", want, got)
+		}
+	}
+	// Bank 1: one enqueue, 4 cycles of wait, depth high-water 1.
+	found := false
+	for _, line := range strings.Split(got, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 5 && f[0] == "1" && f[1] == "1" && f[2] == "4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bank 1 contention row (enqueues 1, wait 4) missing:\n%s", got)
+	}
+	// Core 1 made the access; core 0 absorbed the shoot-down.
+	if !strings.Contains(got, "l1d_invals") {
+		t.Fatalf("inval counter missing:\n%s", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"math/bits"
 
 	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
 	"nurapid/internal/stats"
 )
 
@@ -113,6 +114,10 @@ type Queue struct {
 
 	blockShift uint
 	occupancy  int64
+
+	// probe observes queue-side events (KindEnqueue/KindIssue); nil in
+	// unprobed runs keeps the zero-overhead fast path.
+	probe obs.Probe
 }
 
 // NewQueue wraps l2 behind cfg's bank queues.
@@ -141,8 +146,23 @@ func (q *Queue) Name() string { return q.name }
 //nurapid:hotpath
 func (q *Queue) Access(req memsys.Req) memsys.AccessResult {
 	bank := int((req.Addr >> q.blockShift) % uint64(len(q.banks)))
+	if q.probe != nil {
+		// Instantaneous depth at arrival: how many whole occupancy
+		// intervals of backlog sit ahead of this request.
+		depth := int64(0)
+		if backlog := q.banks[bank].FreeAt() - req.Now; backlog > 0 {
+			depth = (backlog + q.occupancy - 1) / q.occupancy
+		}
+		if depth > 255 {
+			depth = 255
+		}
+		q.probe.Emit(obs.Enqueue(req.Now, req.Addr, bank, req.Core, req.Write, int(depth)))
+	}
 	start := q.banks[bank].Acquire(req.Now, q.occupancy)
 	stall := start - req.Now
+	if q.probe != nil {
+		q.probe.Emit(obs.Issue(start, bank, req.Core, stall))
+	}
 
 	cs := &q.perCore[req.Core]
 	cs.Accesses++
@@ -172,6 +192,27 @@ func (q *Queue) EnergyNJ() float64 { return q.l2.EnergyNJ() }
 
 // Counters implements memsys.LowerLevel.
 func (q *Queue) Counters() *stats.Counters { return q.l2.Counters() }
+
+// SetProbe implements obs.Probeable: the probe sees this queue's
+// KindEnqueue/KindIssue events interleaved in canonical order with the
+// wrapped organization's own stream (the probe is forwarded to it when
+// it accepts probes). Call before the first access; nil restores the
+// fast path on both levels.
+func (q *Queue) SetProbe(p obs.Probe) {
+	q.probe = p
+	if pb, ok := q.l2.(obs.Probeable); ok {
+		pb.SetProbe(p)
+	}
+}
+
+// LatencyProfile implements obs.LatencyProfiler by delegating to the
+// wrapped organization; the zero profile means it has none.
+func (q *Queue) LatencyProfile() obs.LatencyProfile {
+	if lp, ok := q.l2.(obs.LatencyProfiler); ok {
+		return lp.LatencyProfile()
+	}
+	return obs.LatencyProfile{}
+}
 
 // PerCore returns the per-core queue statistics, indexed by core id.
 func (q *Queue) PerCore() []CoreStats { return q.perCore }

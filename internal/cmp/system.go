@@ -5,6 +5,7 @@ import (
 
 	"nurapid/internal/cpu"
 	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
 	"nurapid/internal/stats"
 	"nurapid/internal/workload"
 )
@@ -79,6 +80,10 @@ type System struct {
 
 	cycle         int64
 	invalidations int64
+
+	// probe observes coherence events (KindInval); the queue and the
+	// shared organization share the same probe via SetProbe.
+	probe obs.Probe
 }
 
 // New builds a CMP system over the shared organization l2. The queue
@@ -129,6 +134,16 @@ func MustNew(l2 memsys.LowerLevel, cfg Config) *System {
 		panic(err)
 	}
 	return s
+}
+
+// SetProbe implements obs.Probeable for the whole shared side: the
+// probe receives the system's coherence shoot-down events plus the
+// queue's and the wrapped organization's streams, all in the canonical
+// per-access order. Call before Run; nil restores the fast path
+// everywhere.
+func (s *System) SetProbe(p obs.Probe) {
+	s.probe = p
+	s.queue.SetProbe(p)
 }
 
 // Queue exposes the shared bank-queue model (contention figures).
@@ -205,23 +220,29 @@ func (s *System) Run(srcs []workload.Source, maxInstrPerCore int64) Result {
 // shootDown invalidates addr's block from every L1D except the writer's
 // own — the coherence-lite model: a write reaching the shared level
 // makes every other private copy stale, and stale copies are dropped
-// without writeback because the writer's data supersedes them.
+// without writeback because the writer's data supersedes them. done is
+// the cycle the write's shared-level access completed; each dropped
+// copy emits one KindInval stamped with it, closing the access's event
+// window after the outcome.
 //
 //nurapid:hotpath
-func (s *System) shootDown(writer int, addr uint64) {
+func (s *System) shootDown(writer int, addr uint64, done int64) {
 	for i := range s.cores {
 		if i == writer {
 			continue
 		}
 		if s.cores[i].InvalidateL1(addr) {
 			s.invalidations++
+			if s.probe != nil {
+				s.probe.Emit(obs.Inval(done, addr, i))
+			}
 		}
 	}
 }
 
 // coreFront is the per-core adapter between a CPU and the shared queue:
 // it stamps the core id on every request and runs the coherence-lite
-// shoot-down for writes before they enter the queue.
+// shoot-down for writes reaching the shared level.
 type coreFront struct {
 	sys  *System
 	core int
@@ -231,15 +252,20 @@ type coreFront struct {
 func (f *coreFront) Name() string { return f.sys.queue.Name() }
 
 // Access implements memsys.LowerLevel for one core's private view of
-// the shared level.
+// the shared level. The shoot-down runs after the queued access
+// returns — the write is coherence-visible once the shared level
+// accepted it, and nothing else executes in between (one goroutine,
+// lockstep stepping), so the reorder is invisible to simulated state
+// while keeping KindInval events after the access window's outcome.
 //
 //nurapid:hotpath
 func (f *coreFront) Access(req memsys.Req) memsys.AccessResult {
 	req.Core = f.core
+	r := f.sys.queue.Access(req)
 	if req.Write {
-		f.sys.shootDown(f.core, req.Addr)
+		f.sys.shootDown(f.core, req.Addr, r.DoneAt)
 	}
-	return f.sys.queue.Access(req)
+	return r
 }
 
 // Distribution implements memsys.LowerLevel.

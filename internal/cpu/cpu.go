@@ -289,6 +289,11 @@ func (c *CPU) Result() Result {
 // The stale copy is discarded without writeback (the writer's copy
 // supersedes it); the drop is counted in Result.L1DInvals.
 //
+// Event contract: the CPU itself emits nothing here. Each true return
+// makes the caller (cmp.System.shootDown) emit one obs.KindInval
+// stamped with the victim core's id and the writing access's DoneAt,
+// so shoot-downs trail their access window's outcome in the trace.
+//
 //nurapid:hotpath
 func (c *CPU) InvalidateL1(addr uint64) bool {
 	dropped, _ := c.l1d.Invalidate(addr)

@@ -11,7 +11,8 @@ import (
 // runtime pin (TestEventOrderCanonical) and the differential oracle
 // depend on: within one access, events appear as
 //
-//	Access → outcome (Hit|Miss) → Evict → links (Promote/Demote) → Place [→ Swap]
+//	[Enqueue → Issue →] Access → outcome (Hit|Miss) → Evict → links
+//	(Promote/Demote) → Place [→ Swap] [→ Inval...]
 //
 // on every control-flow path. The analyzer abstractly interprets each
 // function body, tracking the set of possibly-last-emitted kinds
@@ -22,7 +23,16 @@ import (
 // (any emission) may be followed by a new Access (batched loops), and
 // Place may be followed by the next level's outcome (uca.Hierarchy
 // applies the order per level). A function that emits Access directly
-// must emit it before anything else.
+// must emit it before anything else (Issue excepted: an inline queue
+// may grant, then access).
+//
+// The CMP queue-side kinds bracket the window: Enqueue must be
+// directly followed by Issue, Issue by the organization's Access, and
+// Inval (coherence shoot-down) may appear only after the outcome. The
+// organization's own emissions happen behind dynamic dispatch — the
+// analyzer gives calls to memsys.LowerLevel.Access/AccessMany (and the
+// package-level batch helpers) a synthetic whole-window summary so
+// queue code that emits around such a call is still checked.
 //
 // Probe emissions are recognized as p.Emit(obs.Ctor(...)) where Emit is
 // the obs.Probe interface method; an `x != nil`-guarded block that
@@ -30,14 +40,18 @@ import (
 // and the nil fast path emits nothing at all.
 var ProbeOrder = &Analyzer{
 	Name: "probeorder",
-	Doc: "verify obs emissions follow the pinned Access → outcome → Evict → " +
-		"links → Place order on every control-flow path",
+	Doc: "verify obs emissions follow the pinned Enqueue → Issue → Access → " +
+		"outcome → Evict → links → Place → Inval order on every control-flow path",
 	Run: runProbeOrder,
 }
 
 // obsPkgPath is the import path of the observability layer whose
 // Probe.Emit calls the analyzer tracks.
 const obsPkgPath = "nurapid/internal/obs"
+
+// memsysPkgPath is the import path whose LowerLevel.Access dynamic
+// dispatch gets the synthetic whole-window summary.
+const memsysPkgPath = "nurapid/internal/memsys"
 
 // poKind enumerates the obs event constructors in pinned-order rank
 // groups.
@@ -52,6 +66,9 @@ const (
 	poDemote
 	poPlace
 	poSwap
+	poEnqueue
+	poIssue
+	poInval
 	numPoKinds
 )
 
@@ -62,14 +79,18 @@ var poCtorKinds = map[string]poKind{
 	"Access": poAccess, "Hit": poHit, "Miss": poMiss, "Evict": poEvict,
 	"Promote": poPromote, "DemoteLink": poDemote, "Place": poPlace,
 	"SwapBacklog": poSwap,
+	"Enqueue":     poEnqueue, "Issue": poIssue, "Inval": poInval,
 }
 
 var poNames = [numPoKinds]string{
 	"Access", "Hit", "Miss", "Evict", "Promote", "DemoteLink", "Place", "SwapBacklog",
+	"Enqueue", "Issue", "Inval",
 }
 
 // poRank maps kinds onto the pinned order's rank ladder: emissions of
-// one access must be rank-non-decreasing.
+// one access must be rank-non-decreasing. The queue-side kinds sit at
+// the window's edges: Enqueue/Issue before the Access (rank 0, with
+// exact-successor rules below), Inval after everything.
 var poRank = [numPoKinds]int{
 	poAccess:  0,
 	poHit:     1,
@@ -79,16 +100,43 @@ var poRank = [numPoKinds]int{
 	poDemote:  3,
 	poPlace:   4,
 	poSwap:    5,
+	poEnqueue: 0,
+	poIssue:   0,
+	poInval:   6,
 }
 
 // poAllowed reports whether next may directly follow prev within the
 // event stream.
 func poAllowed(prev, next poKind) bool {
-	if next == poAccess {
+	if prev == poEnqueue {
+		// An enqueued request's only successor is its bank grant.
+		return next == poIssue
+	}
+	if prev == poIssue {
+		// A granted request goes straight into the organization.
+		return next == poAccess
+	}
+	switch next {
+	case poEnqueue:
+		// A new queued access may begin after any completed window —
+		// but never directly after a bare Access (outcome pending).
+		return prev != poAccess
+	case poIssue:
+		return false // Issue only directly follows its own Enqueue
+	case poInval:
+		// Coherence shoot-downs trail the access's outcome: anything
+		// rank >= 1 (another Inval included) may precede one.
+		return poRank[prev] >= 1
+	case poAccess:
 		// A new access may begin after any completed emission — the
 		// batched AccessMany loops do exactly that — but never directly
 		// after a bare Access (its outcome is still pending).
 		return prev != poAccess
+	}
+	if prev == poInval {
+		// Only a new access window may follow a shoot-down (handled by
+		// the poAccess/poEnqueue cases above).
+		return false
 	}
 	if prev == poPlace && poRank[next] == 1 {
 		// A level's fill completed; a multi-level organization moves on
@@ -393,10 +441,39 @@ func (a *poAnalysis) evalCalls(n ast.Node, in uint16) uint16 {
 		}
 		if fn := a.sameOrLocalCallee(call); fn != nil {
 			cur = a.applyCall(call, fn, cur)
+		} else if fn := a.lowerAccessCallee(call); fn != nil {
+			cur = a.applyCall(call, fn, cur)
 		}
 		return true
 	})
 	return cur
+}
+
+// lowerAccessCallee recognizes dynamic dispatch into a cache
+// organization — a call to memsys.LowerLevel.Access / AccessMany (or
+// the package-level batch helpers of the same names) — and registers a
+// synthetic summary for it: the callee emits one (or, batched, many)
+// complete canonical access window(s), beginning with Access and
+// ending in a completed-window kind. This keeps queue-side emitters
+// (internal/cmp) checkable even though the organization behind the
+// interface is invisible to a per-package pass.
+func (a *poAnalysis) lowerAccessCallee(call *ast.CallExpr) *types.Func {
+	fn := staticCallee(a.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != memsysPkgPath {
+		return nil
+	}
+	if fn.Name() != "Access" && fn.Name() != "AccessMany" {
+		return nil
+	}
+	if _, ok := a.summaries[fn]; !ok {
+		a.summaries[fn] = &poSummary{
+			first: 1 << uint(poAccess),
+			last: 1<<uint(poHit) | 1<<uint(poMiss) | 1<<uint(poEvict) |
+				1<<uint(poPromote) | 1<<uint(poDemote) | 1<<uint(poPlace) |
+				1<<uint(poSwap),
+		}
+	}
+	return fn
 }
 
 // emissionKind recognizes p.Emit(obs.Ctor(...)) and returns the
@@ -472,10 +549,12 @@ func (a *poAnalysis) report() {
 	for _, s := range a.siteOrder {
 		prevs := s.in &^ poStart
 		if s.direct {
-			if s.kind == poAccess && prevs != 0 {
+			if s.kind == poAccess && prevs&^(1<<uint(poIssue)) != 0 {
+				// Issue is the one legal predecessor: an inline queue may
+				// grant, then access.
 				a.pass.Reportf(s.call.Pos(),
 					"obs.Access emitted after obs.%s: Access must be the first emission of an access",
-					poNames[worstKind(prevs)])
+					poNames[worstKind(prevs&^(1<<uint(poIssue)))])
 				continue
 			}
 			if bad := a.badPrevs(prevs, 1<<uint(s.kind)); bad != 0 {

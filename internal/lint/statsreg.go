@@ -22,17 +22,18 @@ import (
 // declaration line... but prefer emitting it.
 //
 // The analyzer also enforces the metric-name convention at registration
-// sites: a string literal passed as the name to NewHistogram or
-// NewSampler must be lower_snake_case ([a-z][a-z0-9_]*), so snapshot
-// keys derived from it (name_le_7, name_dgroup_0) stay uniform and
+// sites: a string literal passed as the name to NewHistogram,
+// NewSampler, or NewTimeSeries must be lower_snake_case
+// ([a-z][a-z0-9_]*), so snapshot keys derived from it (name_le_7,
+// name_dgroup_0, name_wf_queue_wait_cycles) stay uniform and
 // machine-parseable. Names built at runtime are exempt — the analyzer
 // only sees literals.
 var StatsReg = &Analyzer{
 	Name: "statsreg",
 	Doc: "every int64/float64 field of a struct with a Snapshot method " +
 		"must be referenced in that Snapshot method (no silent metrics); " +
-		"literal metric names registered via NewHistogram/NewSampler must " +
-		"be lower_snake_case",
+		"literal metric names registered via NewHistogram/NewSampler/" +
+		"NewTimeSeries must be lower_snake_case",
 	Run: runStatsReg,
 }
 
@@ -42,8 +43,9 @@ var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 // metricCtors are the constructors whose first argument names a metric.
 var metricCtors = map[string]bool{
-	"NewHistogram": true,
-	"NewSampler":   true,
+	"NewHistogram":  true,
+	"NewSampler":    true,
+	"NewTimeSeries": true,
 }
 
 func runStatsReg(pass *Pass) error {

@@ -1,10 +1,14 @@
 // Package probeordertest seeds violations for the probeorder analyzer:
-// the pinned per-access emission order Access → outcome → Evict →
-// links → Place, checked on every control-flow path, including through
-// same-package helper calls.
+// the pinned per-access emission order [Enqueue → Issue →] Access →
+// outcome → Evict → links → Place [→ Inval...], checked on every
+// control-flow path, including through same-package helper calls and
+// the synthetic summary for dynamic memsys.LowerLevel.Access dispatch.
 package probeordertest
 
-import "nurapid/internal/obs"
+import (
+	"nurapid/internal/memsys"
+	"nurapid/internal/obs"
+)
 
 type cache struct {
 	probe obs.Probe
@@ -86,4 +90,74 @@ func (c *cache) suppressed(now int64, addr uint64) {
 	c.probe.Emit(obs.Place(now, 0, 0))
 	//nurapidlint:ignore probeorder deliberate trace-tail replay in a test fixture
 	c.probe.Emit(obs.Access(now, addr, false, 0))
+}
+
+// queue mirrors the shared bank-queue idiom: the grant prologue
+// precedes a dynamic dispatch into the wrapped organization, which the
+// analyzer models with a synthetic whole-window summary (first
+// emission Access, last a completed-window kind).
+type queue struct {
+	probe obs.Probe
+	l2    memsys.LowerLevel
+}
+
+// goodQueued is the canonical queued window: Enqueue → Issue →
+// (organization window) → Inval tail.
+func (q *queue) goodQueued(req memsys.Req) {
+	if q.probe != nil {
+		q.probe.Emit(obs.Enqueue(req.Now, req.Addr, 3, req.Core, req.Write, 1))
+	}
+	if q.probe != nil {
+		q.probe.Emit(obs.Issue(req.Now+4, 3, req.Core, 4))
+	}
+	r := q.l2.Access(req)
+	if q.probe != nil {
+		q.probe.Emit(obs.Inval(r.DoneAt, req.Addr, 1))
+	}
+}
+
+// goodInlineGrant: Issue is the one legal direct predecessor of
+// Access — an inline queue grants, then accesses.
+func (c *cache) goodInlineGrant(now int64, addr uint64) {
+	c.probe.Emit(obs.Enqueue(now, addr, 0, 0, false, 0))
+	c.probe.Emit(obs.Issue(now, 0, 0, 0))
+	c.probe.Emit(obs.Access(now, addr, false, 0))
+	c.probe.Emit(obs.Hit(now, 0, 4))
+}
+
+// enqueueAfterAccess opens a queue window inside an open access window.
+func (c *cache) enqueueAfterAccess(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, false, 0))
+	c.probe.Emit(obs.Enqueue(now, addr, 0, 0, false, 0)) // want `obs\.Enqueue emitted after obs\.Access violates the pinned order`
+}
+
+// issueAfterAccess grants mid-window: Issue may only follow Enqueue.
+func (c *cache) issueAfterAccess(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, false, 0))
+	c.probe.Emit(obs.Issue(now, 0, 0, 0)) // want `obs\.Issue emitted after obs\.Access violates the pinned order`
+}
+
+// grantSkipped jumps from Enqueue straight to Access.
+func (c *cache) grantSkipped(now int64, addr uint64) {
+	c.probe.Emit(obs.Enqueue(now, addr, 0, 0, false, 0))
+	c.probe.Emit(obs.Access(now, addr, false, 0)) // want `obs\.Access emitted after obs\.Enqueue: Access must be the first emission of an access`
+}
+
+// invalBeforeOutcome drops an L1 copy before the access resolved.
+func (c *cache) invalBeforeOutcome(now int64, addr uint64) {
+	c.probe.Emit(obs.Access(now, addr, false, 0))
+	c.probe.Emit(obs.Inval(now, addr, 1)) // want `obs\.Inval emitted after obs\.Access violates the pinned order`
+}
+
+// emitAfterInval reopens a window Inval already closed.
+func (c *cache) emitAfterInval(now int64, addr uint64) {
+	c.probe.Emit(obs.Inval(now, addr, 1))
+	c.probe.Emit(obs.Place(now, 0, 0)) // want `obs\.Place emitted after obs\.Inval violates the pinned order`
+}
+
+// doubleWindow dispatches into the organization with a window already
+// open: the violation crosses the synthetic-summary call boundary.
+func (q *queue) doubleWindow(req memsys.Req) {
+	q.probe.Emit(obs.Access(req.Now, req.Addr, req.Write, 0))
+	q.l2.Access(req) // want `call to Access can emit obs\.Access after obs\.Access, violating the pinned order`
 }

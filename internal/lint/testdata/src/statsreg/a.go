@@ -53,12 +53,16 @@ func NewHistogram(name string, numBuckets int, width int64) *goodStats { return 
 
 func NewSampler(name string, epochAccesses int64) *goodStats { return nil }
 
+func NewTimeSeries(name string, epochCycles int64) *goodStats { return nil }
+
 var (
 	_ = NewHistogram("chain_depth", 9, 1)   // ok
 	_ = NewHistogram("Chain-Depth", 9, 1)   // want `metric name "Chain-Depth" passed to NewHistogram is not lower_snake_case`
 	_ = NewHistogram("7_lives", 9, 1)       // want `metric name "7_lives" passed to NewHistogram is not lower_snake_case`
 	_ = NewSampler("occupancy_v2", 4)       // ok
 	_ = NewSampler("occupancy timeline", 4) // want `metric name "occupancy timeline" passed to NewSampler is not lower_snake_case`
+	_ = NewTimeSeries("ts", 0)              // ok
+	_ = NewTimeSeries("TS-latency", 0)      // want `metric name "TS-latency" passed to NewTimeSeries is not lower_snake_case`
 )
 
 // ok: runtime-built names cannot be checked statically.

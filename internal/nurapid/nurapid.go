@@ -657,6 +657,20 @@ func (c *Cache) GroupLatencies() []int64 {
 	return out
 }
 
+// LatencyProfile implements obs.LatencyProfiler: the cache's static
+// timing model, exactly the quantities accessHit/accessMiss/place
+// charge, so the obs.TimeSeries waterfall reproduces every access's
+// reported latency from the event stream alone.
+func (c *Cache) LatencyProfile() obs.LatencyProfile {
+	return obs.LatencyProfile{
+		TagCycles:   c.tagLat,
+		GroupCycles: c.GroupLatencies(),
+		IssueCycles: accessIssueInterval,
+		MoveCycles:  2 * movementOccupancy,
+		MemCycles:   c.mem.Latency(),
+	}
+}
+
 // GroupOccupancy returns the number of occupied frames per d-group (no
 // side effects) — compared against the reference model's occupancy by the
 // differential harness.

@@ -71,6 +71,12 @@ func (c *Collector) Emit(e Event) {
 	case KindSwap:
 		c.ctrs.Inc("swap_backlogs")
 		c.ctrs.Add("swap_backlog_cycles", e.Lat)
+	case KindEnqueue:
+		c.ctrs.Inc("enqueues")
+	case KindIssue:
+		c.ctrs.Add("queue_wait_cycles", e.Lat)
+	case KindInval:
+		c.ctrs.Inc("l1d_invals")
 	}
 }
 

@@ -22,6 +22,17 @@
 // memory. TestEventOrderCanonical (internal/sim) pins the order for
 // every organization.
 //
+// The CMP front end (internal/cmp) extends the window at both ends:
+// a queued access opens with KindEnqueue (bank id and instantaneous
+// queue depth) immediately followed by KindIssue (the grant cycle and
+// the queue-wait it absorbed), then the organization's canonical
+// window above; a write's coherence shoot-downs close the window with
+// one KindInval per private L1D copy dropped, after the outcome.
+// Single-core runs never emit the queue-side kinds, so their traces
+// stay byte-identical to the pre-CMP format. The probeorder analyzer
+// (internal/lint) checks the extended order statically;
+// TestCMPEventOrderCanonical (internal/cmp) pins it at runtime.
+//
 // Overhead contract: probes are strictly observational (they never alter
 // simulated state or timing), events are fixed-size structs passed by
 // value (no allocation on the emitting path), and every emission site
@@ -74,14 +85,30 @@ const (
 	// is the single port's outstanding backlog in cycles beyond the
 	// access that triggered the movement.
 	KindSwap
+	// KindEnqueue fires when a request arrives at the shared bank queue
+	// (CMP runs only), before bank arbitration. Addr, Core, and Write
+	// are set; Group carries the bank id and Depth the bank's
+	// instantaneous queue depth in requests (saturated at 255).
+	KindEnqueue
+	// KindIssue fires when the bank grants the enqueued request. Now is
+	// the grant cycle, Group the bank id, Core the requester, and Lat
+	// the queue-wait in cycles (grant cycle minus arrival cycle).
+	KindIssue
+	// KindInval fires once per private L1D copy a write's coherence
+	// shoot-down dropped (CMP runs only). Addr is the block, Core the
+	// victim core (never the writer), and Now the cycle the write's
+	// shared-level access completed.
+	KindInval
 
 	numKinds
 )
 
 // kindNames are the Kind wire names used in JSONL traces, indexed by
-// Kind.
+// Kind. New kinds append — existing indices and wire names are part of
+// the trace format.
 var kindNames = [numKinds]string{
 	"access", "hit", "miss", "place", "promote", "demote", "evict", "swap",
+	"enqueue", "issue", "inval",
 }
 
 func (k Kind) String() string {
@@ -112,24 +139,29 @@ type Event struct {
 	Now int64
 	// Addr is the accessed block address (KindAccess, KindMiss).
 	Addr uint64
-	// Core is the requesting core's id, set on KindAccess events
-	// (memsys.Req.Core; 0 in single-core simulations). The events that
+	// Core is the requesting core's id, set on KindAccess, KindEnqueue,
+	// and KindIssue events (memsys.Req.Core; 0 in single-core
+	// simulations) and the victim core on KindInval. The events that
 	// follow an access in the canonical order belong to the same
-	// requestor, so per-core trace analysis needs it only here.
+	// requestor, so per-core trace analysis needs it only at the window
+	// boundaries.
 	Core int16
-	// Group is the serving or destination d-group; -1 when n/a.
+	// Group is the serving or destination d-group, or the bank id on
+	// KindEnqueue/KindIssue; -1 when n/a.
 	Group int16
 	// From is the source d-group of a movement; -1 when n/a.
 	From int16
-	// Depth is the demotion-chain link index (KindDemote, 1-based) or
-	// the chain length absorbed by an install (KindPlace).
+	// Depth is the demotion-chain link index (KindDemote, 1-based), the
+	// chain length absorbed by an install (KindPlace), or the bank's
+	// queue depth at arrival (KindEnqueue, saturated at 255).
 	Depth uint8
 	// Write marks a write access (KindAccess).
 	Write bool
 	// Dirty marks an eviction that required a writeback (KindEvict).
 	Dirty bool
-	// Lat is the observed hit latency (KindHit) or the port backlog in
-	// cycles a movement chain left behind (KindSwap).
+	// Lat is the observed hit latency (KindHit), the port backlog in
+	// cycles a movement chain left behind (KindSwap), or the queue-wait
+	// in cycles (KindIssue).
 	Lat int64
 }
 
@@ -193,6 +225,68 @@ func Evict(now int64, group int, dirty bool) Event {
 //nurapid:hotpath
 func SwapBacklog(now, lat int64) Event {
 	return Event{Kind: KindSwap, Now: now, Group: -1, From: -1, Lat: lat}
+}
+
+// Enqueue builds a KindEnqueue event: core's request for addr arrived
+// at its bank's queue at cycle now, finding depth requests' worth of
+// backlog ahead of it (saturated at 255).
+//
+//nurapid:hotpath
+func Enqueue(now int64, addr uint64, bank, core int, write bool, depth int) Event {
+	return Event{Kind: KindEnqueue, Now: now, Addr: addr, Core: int16(core),
+		Group: int16(bank), From: -1, Write: write, Depth: uint8(depth)}
+}
+
+// Issue builds a KindIssue event: the bank granted core's enqueued
+// request at cycle now after wait cycles in the queue.
+//
+//nurapid:hotpath
+func Issue(now int64, bank, core int, wait int64) Event {
+	return Event{Kind: KindIssue, Now: now, Core: int16(core), Group: int16(bank),
+		From: -1, Lat: wait}
+}
+
+// Inval builds a KindInval event: a coherence shoot-down dropped addr
+// from victim core's private L1D at cycle now.
+//
+//nurapid:hotpath
+func Inval(now int64, addr uint64, core int) Event {
+	return Event{Kind: KindInval, Now: now, Addr: addr, Core: int16(core),
+		Group: -1, From: -1}
+}
+
+// LatencyProfile is an organization's static timing model, enough for
+// the TimeSeries waterfall to attribute each access's latency into
+// components without touching simulated state. The zero value means
+// "no profile" (SetProfile ignores it); a valid profile has at least
+// one group latency and a positive issue interval.
+type LatencyProfile struct {
+	// TagCycles is the tag-probe latency charged before the data array.
+	TagCycles int64
+	// GroupCycles is the full serve latency per d-group (tag included),
+	// indexed by group.
+	GroupCycles []int64
+	// IssueCycles is the port's issue interval: how long one access
+	// occupies the organization's port.
+	IssueCycles int64
+	// MoveCycles is the port occupancy one demotion-chain link adds.
+	MoveCycles int64
+	// MemCycles is the memory round-trip a miss pays after the tag
+	// probe.
+	MemCycles int64
+}
+
+// Valid reports whether the profile carries a usable timing model.
+func (p LatencyProfile) Valid() bool {
+	return len(p.GroupCycles) > 0 && p.IssueCycles > 0
+}
+
+// LatencyProfiler is implemented by organizations (and wrappers like
+// cmp.Queue) that can describe their static timing for waterfall
+// attribution. Implementations return the zero LatencyProfile when no
+// model is available.
+type LatencyProfiler interface {
+	LatencyProfile() LatencyProfile
 }
 
 // Probe receives microarchitectural events from one cache instance.

@@ -19,6 +19,34 @@ func canonicalEvents() []Event {
 		Evict(20, 3, true),
 		Evict(28, 0, false),
 		SwapBacklog(24, 4),
+		Enqueue(30, 0x1000_0000, 2, 1, true, 1),
+		Issue(34, 2, 1, 4),
+		Inval(48, 0x1000_0000, 1),
+	}
+}
+
+// TestTraceQueueKindBytes pins the queue-side kinds' JSONL encodings,
+// including the omit-default conventions: "depth" 0 and "w" false drop
+// from enqueue lines, "core" 0 from all three.
+func TestTraceQueueKindBytes(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Enqueue(30, 268435456, 2, 1, true, 1),
+			`{"k":"enqueue","t":30,"addr":268435456,"bank":2,"depth":1,"w":true,"core":1}`},
+		{Enqueue(30, 268435456, 0, 0, false, 0),
+			`{"k":"enqueue","t":30,"addr":268435456,"bank":0}`},
+		{Issue(34, 2, 1, 4), `{"k":"issue","t":34,"bank":2,"lat":4,"core":1}`},
+		{Issue(34, 0, 0, 0), `{"k":"issue","t":34,"bank":0,"lat":0}`},
+		{Inval(48, 268435456, 1), `{"k":"inval","t":48,"addr":268435456,"core":1}`},
+		{Inval(48, 268435456, 0), `{"k":"inval","t":48,"addr":268435456}`},
+	}
+	for _, c := range cases {
+		got := string(bytes.TrimRight(appendEvent(nil, c.e), "\n"))
+		if got != c.want {
+			t.Errorf("encoding mismatch:\n got %s\nwant %s", got, c.want)
+		}
 	}
 }
 

@@ -24,11 +24,15 @@ import (
 //	{"k":"demote","t":24,"from":1,"g":2,"depth":1}
 //	{"k":"evict","t":20,"g":3,"d":true}
 //	{"k":"swap","t":24,"lat":4}
+//	{"k":"enqueue","t":30,"addr":268435456,"bank":2,"depth":1,"w":true,"core":1}
+//	{"k":"issue","t":34,"bank":2,"lat":4,"core":1}
+//	{"k":"inval","t":48,"addr":268435456,"core":1}
 //
 // Only the fields meaningful for each kind are written; "w" and "d"
-// are omitted when false, and "core" when 0 (single-core runs keep
-// their pre-CMP byte format). cmd/nurapidtrace (or any JSONL tool)
-// reads the stream back.
+// are omitted when false, "depth" on enqueue lines when 0, and "core"
+// when 0 (single-core runs keep their pre-CMP byte format; the
+// queue-side kinds appear only in CMP traces). cmd/nurapidtrace (or
+// any JSONL tool) reads the stream back.
 
 // TraceSink is a buffered JSONL trace writer probe. It is not safe for
 // concurrent use: attach one sink per simulated run (sim.WithTrace does
@@ -138,8 +142,41 @@ func appendEvent(b []byte, e Event) []byte {
 	case KindSwap:
 		b = append(b, `,"lat":`...)
 		b = strconv.AppendInt(b, e.Lat, 10)
+	case KindEnqueue:
+		b = append(b, `,"addr":`...)
+		b = strconv.AppendUint(b, e.Addr, 10)
+		b = append(b, `,"bank":`...)
+		b = strconv.AppendInt(b, int64(e.Group), 10)
+		if e.Depth != 0 {
+			b = append(b, `,"depth":`...)
+			b = strconv.AppendInt(b, int64(e.Depth), 10)
+		}
+		if e.Write {
+			b = append(b, `,"w":true`...)
+		}
+		b = appendCore(b, e.Core)
+	case KindIssue:
+		b = append(b, `,"bank":`...)
+		b = strconv.AppendInt(b, int64(e.Group), 10)
+		b = append(b, `,"lat":`...)
+		b = strconv.AppendInt(b, e.Lat, 10)
+		b = appendCore(b, e.Core)
+	case KindInval:
+		b = append(b, `,"addr":`...)
+		b = strconv.AppendUint(b, e.Addr, 10)
+		b = appendCore(b, e.Core)
 	}
 	return append(b, '}', '\n')
+}
+
+// appendCore writes the core field with the same omit-zero convention
+// the access line uses.
+func appendCore(b []byte, core int16) []byte {
+	if core == 0 {
+		return b
+	}
+	b = append(b, `,"core":`...)
+	return strconv.AppendInt(b, int64(core), 10)
 }
 
 func appendGroup(b []byte, g int16) []byte {
@@ -159,6 +196,7 @@ type wireEvent struct {
 	Addr  uint64 `json:"addr"`
 	Core  int16  `json:"core"`
 	G     int16  `json:"g"`
+	Bank  int16  `json:"bank"`
 	From  int16  `json:"from"`
 	Depth uint8  `json:"depth"`
 	W     bool   `json:"w"`
@@ -218,6 +256,12 @@ func (w wireEvent) event() (Event, error) {
 		return Evict(w.T, int(w.G), w.D), nil
 	case KindSwap:
 		return SwapBacklog(w.T, w.Lat), nil
+	case KindEnqueue:
+		return Enqueue(w.T, w.Addr, int(w.Bank), int(w.Core), w.W, int(w.Depth)), nil
+	case KindIssue:
+		return Issue(w.T, int(w.Bank), int(w.Core), w.Lat), nil
+	case KindInval:
+		return Inval(w.T, w.Addr, int(w.Core)), nil
 	}
 	return Event{}, fmt.Errorf("unhandled event kind %q", w.K)
 }

@@ -161,10 +161,6 @@ func DiffShared(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 	ref := refmodel.MustNew(cfg, m, refMem)
 	ref.InjectFault(opt.Fault)
 
-	fastRec, refRec := &recorder{}, &recorder{}
-	fast.SetProbe(fastRec)
-	ref.SetProbe(refRec)
-
 	qcfg := cmp.QueueConfig{Banks: 4, BlockBytes: cfg.BlockBytes, Occupancy: 4, Cores: cores}
 	fq, err := cmp.NewQueue(fast, qcfg)
 	if err != nil {
@@ -174,6 +170,14 @@ func DiffShared(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 	if err != nil {
 		panic(fmt.Sprintf("difftest: queue construction failed: %v", err))
 	}
+
+	// Probes attach through the queues, not the wrapped models, so the
+	// compared streams carry the queue-side events (Enqueue/Issue) as
+	// well as the organizations': bank hashing or arbitration drift
+	// between the two sides surfaces as an event divergence.
+	fastRec, refRec := &recorder{}, &recorder{}
+	fq.SetProbe(fastRec)
+	rq.SetProbe(refRec)
 
 	now := int64(0)
 	for i, a := range seq {
@@ -208,6 +212,24 @@ func DiffShared(cfg nurapid.Config, seq []Access, opt Options) *Divergence {
 		if !feOK || !reOK || fe != re {
 			return &Divergence{Index: -1, Field: fmt.Sprintf("shared:event %d", i),
 				Fast: renderEvent(fe, feOK), Ref: renderEvent(re, reOK)}
+		}
+	}
+
+	// Wiring guard: a probe attached below the queue would silently drop
+	// the queue-side events from both streams and weaken the oracle
+	// without any visible disagreement, so their absence is itself a
+	// divergence.
+	if len(seq) > 0 {
+		hasQueue := false
+		for _, e := range fastRec.events {
+			if e.Kind == obs.KindEnqueue {
+				hasQueue = true
+				break
+			}
+		}
+		if !hasQueue {
+			return &Divergence{Index: -1, Field: "shared:probe wiring",
+				Fast: "stream carries no queue-side events", Ref: "expected Enqueue/Issue per access"}
 		}
 	}
 

@@ -9,6 +9,7 @@ import (
 	"nurapid/internal/memsys"
 	"nurapid/internal/nuca"
 	"nurapid/internal/nurapid"
+	"nurapid/internal/obs"
 	"nurapid/internal/stats"
 	"nurapid/internal/vis"
 	"nurapid/internal/workload"
@@ -41,6 +42,12 @@ type CMPRunResult struct {
 
 	// QueueMetrics is the shared bank-queue's contention snapshot.
 	QueueMetrics []stats.KV
+
+	// ObsMetrics holds the snapshots harvested from the run's probes
+	// (time-series registry, collectors, trace sinks); empty when the
+	// run was unprobed. Snapshot re-emits them under the obs_ prefix,
+	// mirroring the single-core RunResult.
+	ObsMetrics []stats.KV
 }
 
 // Snapshot emits the run's metrics (statsreg convention: every counter
@@ -53,6 +60,9 @@ func (r *CMPRunResult) Snapshot() []stats.KV {
 	}
 	out = append(out, r.Res.Snapshot()...)
 	out = append(out, r.QueueMetrics...)
+	for _, kv := range r.ObsMetrics {
+		out = append(out, stats.KV{Name: "obs_" + kv.Name, Value: kv.Value})
+	}
 	return out
 }
 
@@ -122,7 +132,6 @@ func (r *Runner) RunCMP(app workload.App, org Organization) *CMPRunResult {
 func (r *Runner) runCMP(app workload.App, org Organization, label string) *CMPRunResult {
 	mem := memsys.NewMemory(org.blockBytes())
 	l2 := org.Factory(r.Model, mem)
-	probes := r.instrument(app.Name, label, l2)
 	sys, err := cmp.New(l2, cmp.Config{
 		Cores:      r.cmpCores(),
 		Sharing:    r.Sharing,
@@ -138,6 +147,7 @@ func (r *Runner) runCMP(app workload.App, org Organization, label string) *CMPRu
 		// All inputs are runner-controlled; an error is a bug.
 		panic(fmt.Sprintf("sim: cmp system construction failed: %v", err))
 	}
+	probes := r.instrumentCMP(app.Name, label, sys)
 	srcs, err := sys.Sources(app, r.Seed)
 	if err != nil {
 		panic(fmt.Sprintf("sim: cmp sources failed: %v", err))
@@ -155,11 +165,29 @@ func (r *Runner) runCMP(app workload.App, org Organization, label string) *CMPRu
 	}
 	for _, p := range probes {
 		if s, ok := p.(interface{ Snapshot() []stats.KV }); ok {
-			out.QueueMetrics = append(out.QueueMetrics, s.Snapshot()...)
+			out.ObsMetrics = append(out.ObsMetrics, s.Snapshot()...)
 		}
 	}
 	r.closeProbes(probes)
 	return out
+}
+
+// instrumentCMP attaches the run's probe chain to the whole shared
+// side (coherence shoot-downs, bank queue, and wrapped organization)
+// and appends the windowed time-series registry so probed CMP runs
+// harvest the latency waterfall, per-bank contention, and rolling
+// fairness into ObsMetrics. Unprobed runs keep the nil-probe fast
+// path untouched.
+func (r *Runner) instrumentCMP(app, label string, sys *cmp.System) []obs.Probe {
+	ps := r.buildProbes(app, label)
+	if len(ps) == 0 {
+		return nil
+	}
+	ts := obs.NewTimeSeries("ts", 0)
+	ts.SetProfile(sys.Queue().LatencyProfile())
+	ps = append(ps, ts)
+	sys.SetProbe(obs.Multi(ps...))
+	return ps
 }
 
 // PrefetchCMP submits every (app, org) CMP pair to the worker pool and

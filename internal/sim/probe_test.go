@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"nurapid/internal/cmp"
 	"nurapid/internal/nurapid"
 	"nurapid/internal/obs"
 	"nurapid/internal/stats"
@@ -123,6 +125,87 @@ func TestTraceDeterminismFixedSeed(t *testing.T) {
 		if !bytes.Equal(a.Bytes(), b.Bytes()) {
 			t.Fatalf("run %s traces differ between serial and parallel runners", key)
 		}
+	}
+}
+
+// TestCMPTraceDeterminism checks that fixed-seed CMP runs emit
+// byte-identical queue-side traces across serial and parallel runners,
+// that the stream carries the queue kinds (enqueue/issue) and coherence
+// shoot-downs (inval), and pins the first enqueue line's exact bytes as
+// the golden encoding for the -cmp trace format.
+func TestCMPTraceDeterminism(t *testing.T) {
+	org := NuRAPID(nurapid.DefaultConfig())
+	run := func(workers int) map[string]*bytes.Buffer {
+		m := &memProbe{}
+		r := smallRunner(t, WithWorkers(workers), WithProbe(m.factory),
+			WithCores(2), WithSharing(cmp.Shared))
+		orgs := []Organization{org, Base()}
+		r.PrefetchCMP(r.Apps, orgs)
+		for _, app := range r.Apps { // serial runners compute on demand
+			for _, o := range orgs {
+				r.RunCMP(app, o)
+			}
+		}
+		if err := r.ProbeErr(); err != nil {
+			t.Fatal(err)
+		}
+		return m.bufs
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) == 0 || len(serial) != len(parallel) {
+		t.Fatalf("trace sets differ in size: %d vs %d", len(serial), len(parallel))
+	}
+	var invals int64
+	var mcfTrace []byte
+	for key, a := range serial {
+		b := parallel[key]
+		if b == nil {
+			t.Fatalf("run %s missing from parallel traces", key)
+		}
+		if a.Len() == 0 {
+			t.Fatalf("run %s produced an empty trace", key)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("run %s traces differ between serial and parallel runners", key)
+		}
+		var enq, iss int64
+		if err := obs.DecodeTrace(bytes.NewReader(a.Bytes()), func(e obs.Event) error {
+			switch e.Kind {
+			case obs.KindEnqueue:
+				enq++
+			case obs.KindIssue:
+				iss++
+			case obs.KindInval:
+				invals++
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("run %s trace does not decode: %v", key, err)
+		}
+		if enq == 0 || enq != iss {
+			t.Fatalf("run %s: %d enqueues / %d issues; every queued access must emit both", key, enq, iss)
+		}
+		if strings.HasPrefix(key, "mcf/") && strings.HasSuffix(key, org.Key) {
+			mcfTrace = a.Bytes()
+		}
+	}
+	if invals == 0 {
+		t.Fatal("no shared run produced inval events")
+	}
+	if mcfTrace == nil {
+		t.Fatal("mcf/nurapid CMP trace missing")
+	}
+	first := ""
+	for _, line := range strings.Split(string(mcfTrace), "\n") {
+		if strings.Contains(line, `"k":"enqueue"`) {
+			first = line
+			break
+		}
+	}
+	const wantFirst = `{"k":"enqueue","t":0,"addr":4199552,"bank":1}`
+	if first != wantFirst {
+		t.Fatalf("first enqueue line\n got %s\nwant %s", first, wantFirst)
 	}
 }
 
