@@ -3,54 +3,93 @@ package nurapid
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"nurapid/internal/cacti"
+	"nurapid/internal/nuca"
 	"nurapid/internal/nurapid"
 	"nurapid/internal/sim"
 	"nurapid/internal/workload"
 )
+
+// runnerSweepEntry is one point of the scaling curve: the trace-gen +
+// replay pipeline's wall time at a worker count, with speedup and
+// parallel efficiency (speedup / workers) relative to the 1-worker
+// pass. One entry per worker count — the half-recorded pre-sweep schema
+// pinned workers to 1 and omitted the parallel pass entirely, so the
+// regression gate could not see scaling regressions at all.
+type runnerSweepEntry struct {
+	Workers    int     `json:"workers"`
+	WallNS     int64   `json:"wall_ns"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
 
 // runnerBench is the record the bench smoke writes to BENCH_runner.json
 // so the runner's perf trajectory is tracked across PRs.
 //
 // TraceGenNS and ReplayNS split one serial pass over the bench roster
 // into its two phases: synthesizing each application's L2-visible
-// request stream (per-core front-end work that CMP scaling cannot
-// parallelize away) and replaying those streams through NuRAPID's
-// batched path. The split keeps the speedup record honest — an earlier
-// revision timed "serial vs parallel" on a single-proc machine and
-// recorded a meaningless 0.995x, with trace generation silently folded
-// into both sides.
+// request stream and replaying those streams through NuRAPID's batched
+// path. Sweep records the sharded-generation + chunked-replay
+// pipeline's wall time at 1/2/4/8/16 workers over the full (app, org)
+// job matrix; EfficiencyGate says whether the >=0.5-efficiency-at-4-
+// workers gate was enforced or why it was skipped (a single-proc host
+// cannot measure wall-clock parallelism, and recording a fake sub-1.0
+// "speedup" is exactly the bug an earlier revision of this bench had).
 type runnerBench struct {
-	Experiment    string `json:"experiment"`
-	Apps          int    `json:"apps"`
-	Instructions  int64  `json:"instructions_per_run"`
-	GOMAXPROCS    int    `json:"gomaxprocs"`
-	Workers       int    `json:"workers"`
-	TraceRequests int64  `json:"trace_requests"`
-	TraceGenNS    int64  `json:"trace_gen_ns"`
-	ReplayNS      int64  `json:"replay_ns"`
-	SerialNS      int64  `json:"serial_ns"`
-	// ParallelNS and Speedup are only recorded when more than one
-	// worker is actually available; omitted otherwise rather than
-	// reporting a sub-1.0 "speedup" that only reflects timer noise.
-	ParallelNS int64   `json:"parallel_ns,omitempty"`
-	Speedup    float64 `json:"speedup,omitempty"`
+	Experiment     string             `json:"experiment"`
+	Apps           int                `json:"apps"`
+	ReplayOrgs     int                `json:"replay_orgs"`
+	Instructions   int64              `json:"instructions_per_run"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	TraceRequests  int64              `json:"trace_requests"`
+	TraceGenNS     int64              `json:"trace_gen_ns"`
+	ReplayNS       int64              `json:"replay_ns"`
+	Sweep          []runnerSweepEntry `json:"sweep"`
+	EfficiencyGate string             `json:"efficiency_gate"`
+	Fig6SerialNS   int64              `json:"fig6_serial_ns"`
+	// Fig6ParallelNS and Fig6Speedup cover the full-system experiment
+	// runner (Prefetch fan-out) and are only recorded when more than
+	// one proc is actually available.
+	Fig6ParallelNS int64   `json:"fig6_parallel_ns,omitempty"`
+	Fig6Speedup    float64 `json:"fig6_speedup,omitempty"`
 }
 
-// TestBenchRunnerSmoke times a full multi-org experiment (Figure 6:
-// base + three promotion policies + ideal, across the bench roster) on
-// the serial runner — and on a worker-per-core pool when the machine
-// has more than one proc — verifies serial and parallel render
-// identical bytes, and records the wall times. A separate serial pass
-// times trace generation and batched replay individually, giving the
-// CMP scaling numbers an honest single-core baseline. It only runs
-// when BENCH_RUNNER_JSON names the output file (make bench-runner /
-// CI), so plain `go test ./...` stays timing-free.
+// benchSweepWorkers is the recorded scaling curve's worker counts.
+var benchSweepWorkers = []int{1, 2, 4, 8, 16}
+
+// benchReplayOrgs is the organization set each app's trace is replayed
+// through in the sweep: one per family, so the job matrix (apps x
+// orgs) gives the pool real width.
+func benchReplayOrgs() []sim.Organization {
+	return []sim.Organization{
+		sim.Base(),
+		sim.Ideal(),
+		sim.DNUCA(nuca.DefaultConfig()),
+		sim.NuRAPID(nurapid.DefaultConfig()),
+	}
+}
+
+// TestBenchRunnerSmoke measures the parallel replay pipeline and the
+// experiment runner, and records BENCH_runner.json:
+//
+//  1. a serial phase split (trace generation vs batched replay) for an
+//     honest single-core baseline;
+//  2. the sharded trace-gen + chunked-replay pipeline at 1/2/4/8/16
+//     workers over the (app, org) job matrix — verifying every worker
+//     count's fingerprints are byte-identical to the serial pass, and
+//     gating on >=0.5 parallel efficiency at 4 workers when the host
+//     has at least 4 procs;
+//  3. serial-vs-parallel Fig6 regeneration (byte-identity always;
+//     wall-clock comparison only when more than one proc exists).
+//
+// It only runs when BENCH_RUNNER_JSON names the output file (make
+// bench-runner / CI), so plain `go test ./...` stays timing-free.
 func TestBenchRunnerSmoke(t *testing.T) {
 	out := os.Getenv("BENCH_RUNNER_JSON")
 	if out == "" {
@@ -65,11 +104,12 @@ func TestBenchRunnerSmoke(t *testing.T) {
 		}
 		apps = append(apps, a)
 	}
-	workers := runtime.GOMAXPROCS(0)
+	procs := runtime.GOMAXPROCS(0)
+	model := cacti.Default()
+	orgs := benchReplayOrgs()
 
 	// Phase split: trace generation vs batched replay, both serial.
-	model := cacti.Default()
-	org := sim.NuRAPID(nurapid.DefaultConfig())
+	nrOrg := sim.NuRAPID(nurapid.DefaultConfig())
 	var traceGen, replay time.Duration
 	var traceReqs int64
 	for _, app := range apps {
@@ -78,10 +118,63 @@ func TestBenchRunnerSmoke(t *testing.T) {
 		traceGen += time.Since(start)
 		traceReqs += int64(len(reqs))
 		start = time.Now()
-		sim.Replay(model, org, reqs)
+		sim.Replay(model, nrOrg, reqs)
 		replay += time.Since(start)
 	}
 
+	// The scaling sweep: every app's stream through every organization,
+	// sharded generation + chunked replay on a bounded pool.
+	var jobs []sim.ReplayJob
+	for _, app := range apps {
+		for _, org := range orgs {
+			jobs = append(jobs, sim.ReplayJob{App: app, Seed: 1, N: int(benchInstructions), Org: org})
+		}
+	}
+	timePipeline := func(w int) (time.Duration, []uint64) {
+		start := time.Now()
+		results := sim.ReplayAll(model, jobs, sim.ReplayOptions{Workers: w})
+		elapsed := time.Since(start)
+		fps := make([]uint64, len(results))
+		for i, r := range results {
+			fps[i] = r.Fingerprint()
+		}
+		return elapsed, fps
+	}
+
+	serialWall, serialFPs := timePipeline(1)
+	sweep := []runnerSweepEntry{{Workers: 1, WallNS: serialWall.Nanoseconds(), Speedup: 1, Efficiency: 1}}
+	effAt := map[int]float64{1: 1}
+	for _, w := range benchSweepWorkers[1:] {
+		wall, fps := timePipeline(w)
+		for i := range fps {
+			if fps[i] != serialFPs[i] {
+				t.Fatalf("workers=%d: job %d fingerprint %#016x differs from serial %#016x",
+					w, i, fps[i], serialFPs[i])
+			}
+		}
+		speedup := float64(serialWall) / float64(wall)
+		entry := runnerSweepEntry{
+			Workers:    w,
+			WallNS:     wall.Nanoseconds(),
+			Speedup:    speedup,
+			Efficiency: speedup / float64(w),
+		}
+		sweep = append(sweep, entry)
+		effAt[w] = entry.Efficiency
+		t.Logf("pipeline %2d workers: %v (%.2fx, efficiency %.2f)", w, wall, speedup, entry.Efficiency)
+	}
+
+	gate := fmt.Sprintf("skipped: gomaxprocs %d < 4, wall-clock parallelism unmeasurable", procs)
+	if procs >= 4 {
+		gate = "enforced: efficiency at 4 workers >= 0.5"
+		if effAt[4] < 0.5 {
+			t.Errorf("parallel efficiency at 4 workers = %.2f, want >= 0.5 — the pipeline is not scaling", effAt[4])
+			gate = fmt.Sprintf("FAILED: efficiency %.2f at 4 workers < 0.5", effAt[4])
+		}
+	}
+
+	// The full-system experiment runner: serial vs worker-per-proc
+	// Fig6, byte-identity always enforced.
 	timeFig6 := func(w int) (time.Duration, string) {
 		r := sim.NewRunner(
 			sim.WithInstructions(benchInstructions),
@@ -98,28 +191,29 @@ func TestBenchRunnerSmoke(t *testing.T) {
 		}
 		return elapsed, buf.String()
 	}
-
-	serial, serialBytes := timeFig6(1)
+	serialFig6, serialBytes := timeFig6(1)
 
 	rec := runnerBench{
-		Experiment:    "fig6",
-		Apps:          len(apps),
-		Instructions:  benchInstructions,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Workers:       workers,
-		TraceRequests: traceReqs,
-		TraceGenNS:    traceGen.Nanoseconds(),
-		ReplayNS:      replay.Nanoseconds(),
-		SerialNS:      serial.Nanoseconds(),
+		Experiment:     "replay-pipeline+fig6",
+		Apps:           len(apps),
+		ReplayOrgs:     len(orgs),
+		Instructions:   benchInstructions,
+		GOMAXPROCS:     procs,
+		TraceRequests:  traceReqs,
+		TraceGenNS:     traceGen.Nanoseconds(),
+		ReplayNS:       replay.Nanoseconds(),
+		Sweep:          sweep,
+		EfficiencyGate: gate,
+		Fig6SerialNS:   serialFig6.Nanoseconds(),
 	}
-	if workers > 1 {
-		parallel, parallelBytes := timeFig6(workers)
+	if procs > 1 {
+		parallel, parallelBytes := timeFig6(procs)
 		if serialBytes != parallelBytes {
 			t.Fatalf("serial and parallel Fig6 rendered different bytes (%d vs %d)",
 				len(serialBytes), len(parallelBytes))
 		}
-		rec.ParallelNS = parallel.Nanoseconds()
-		rec.Speedup = float64(serial) / float64(parallel)
+		rec.Fig6ParallelNS = parallel.Nanoseconds()
+		rec.Fig6Speedup = float64(serialFig6) / float64(parallel)
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -130,11 +224,6 @@ func TestBenchRunnerSmoke(t *testing.T) {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Speedup != 0 {
-		t.Logf("fig6 serial %v, parallel %v on %d workers (%.2fx); trace-gen %v, replay %v; recorded in %s",
-			serial, time.Duration(rec.ParallelNS), workers, rec.Speedup, traceGen, replay, out)
-	} else {
-		t.Logf("fig6 serial %v on 1 worker (parallel pass skipped); trace-gen %v, replay %v; recorded in %s",
-			serial, traceGen, replay, out)
-	}
+	t.Logf("pipeline serial %v over %d jobs; trace-gen %v, replay %v; fig6 serial %v; gate: %s; recorded in %s",
+		serialWall, len(jobs), traceGen, replay, serialFig6, gate, out)
 }

@@ -76,7 +76,7 @@ func main() {
 	}
 
 	if *replay != "" {
-		if err := runReplay(os.Stdout, *replay, *seed, *n); err != nil {
+		if err := runReplay(os.Stdout, *replay, *seed, *n, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -241,18 +241,16 @@ func runSelfcheck(w io.Writer) error {
 	return nil
 }
 
-// runReplay extracts appName's L2-visible request stream and replays it
-// through the standard organizations on the batched AccessMany path,
-// printing each organization's aggregate result and fingerprint. The
-// output is a pure function of (app, seed, n).
-func runReplay(w io.Writer, appName string, seed uint64, n int64) error {
+// runReplay replays appName's L2-visible request stream through the
+// standard organizations on the sharded trace-gen + chunked-replay
+// pipeline, printing each organization's aggregate result and
+// fingerprint. The trace is generated once and shared across the four
+// replays, which run on a workers-wide pool; the output is a pure
+// function of (app, seed, n) and byte-identical at every worker count.
+func runReplay(w io.Writer, appName string, seed uint64, n int64, workers int) error {
 	app, ok := workload.ByName(appName)
 	if !ok {
 		return fmt.Errorf("replay: unknown application %q", appName)
-	}
-	reqs := sim.ExtractTrace(app, seed, int(n))
-	if len(reqs) == 0 {
-		return fmt.Errorf("replay: %s produced no memory requests", appName)
 	}
 	model := cacti.Default()
 	orgs := []sim.Organization{
@@ -261,8 +259,15 @@ func runReplay(w io.Writer, appName string, seed uint64, n int64) error {
 		sim.DNUCA(nuca.DefaultConfig()),
 		sim.NuRAPID(nurapid.DefaultConfig()),
 	}
-	for _, org := range orgs {
-		res := sim.Replay(model, org, reqs)
+	jobs := make([]sim.ReplayJob, len(orgs))
+	for i, org := range orgs {
+		jobs[i] = sim.ReplayJob{App: app, Seed: seed, N: int(n), Org: org}
+	}
+	results := sim.ReplayAll(model, jobs, sim.ReplayOptions{Workers: workers})
+	for _, res := range results {
+		if res.Requests == 0 {
+			return fmt.Errorf("replay: %s produced no memory requests", appName)
+		}
 		if err := res.WriteText(w); err != nil {
 			return err
 		}

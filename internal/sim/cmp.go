@@ -66,10 +66,13 @@ func (r *CMPRunResult) Snapshot() []stats.KV {
 	return out
 }
 
-// cmpCell is the singleflight slot for one memoized CMP run.
+// cmpCell is the singleflight slot for one memoized CMP run. panicked
+// latches a panic escaping the one execution so concurrent waiters are
+// released with the real failure, not a nil result (see memoCell).
 type cmpCell struct {
-	once sync.Once
-	res  *CMPRunResult
+	once     sync.Once
+	res      *CMPRunResult
+	panicked any
 }
 
 // cmpLabel names a CMP run in observer events and memo keys, e.g.
@@ -112,6 +115,11 @@ func (r *Runner) RunCMP(app workload.App, org Organization) *CMPRunResult {
 	key := app.Name + "/" + label
 	c := r.cmpSlot(key)
 	c.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.panicked = p
+			}
+		}()
 		r.emit(RunEvent{Kind: RunStart, App: app.Name, Org: label})
 		var start time.Duration
 		if r.clock != nil {
@@ -125,6 +133,9 @@ func (r *Runner) RunCMP(app workload.App, org Organization) *CMPRunResult {
 		r.emit(RunEvent{Kind: RunFinish, App: app.Name, Org: label,
 			IPC: c.res.Res.AggregateIPC, Elapsed: elapsed, Metrics: c.res.Snapshot()})
 	})
+	if c.panicked != nil {
+		panic(fmt.Sprintf("sim: cmp run %s panicked: %v", key, c.panicked))
+	}
 	return c.res
 }
 

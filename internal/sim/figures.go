@@ -447,8 +447,71 @@ func (r *Runner) Fig11() *Experiment {
 		}}
 }
 
-// All runs every experiment in paper order, then the ablations.
+// paperRunSet returns the deduped union of every organization the
+// paper-order campaign (All) simulates. Prefetching this union in one
+// pool pass is what lets a parallel runner actually saturate its
+// workers across the whole campaign: each experiment's own Prefetch is
+// a barrier, so per-experiment fan-out alone idles the pool during
+// every table assembly and at every experiment's straggler tail.
+// TestPaperRunSetCoversAll pins that no experiment runs an organization
+// missing from this list.
+func paperRunSet() []Organization {
+	saCfg := nurapidCfg(4, nurapid.NextFastest, nurapid.LRUDistance)
+	saCfg.Placement = nurapid.SetAssociative
+	dnEnergy := nuca.DefaultConfig()
+	dnEnergy.Policy = nuca.SSEnergy
+	dnIncr := nuca.DefaultConfig()
+	dnIncr.Policy = nuca.Incremental
+	trig2 := nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance)
+	trig2.PromoteHits = 2
+	trig4 := nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance)
+	trig4.PromoteHits = 4
+	restrict := nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance)
+	restrict.RestrictFrames = 256
+
+	orgs := []Organization{
+		Base(), Ideal(),
+		// Fig4: set-associative vs distance-associative placement.
+		NuRAPID(saCfg),
+		// Fig5/Fig6: the three promotion policies (next-fastest also
+		// covers Fig7-Fig11's 4-d-group NuRAPID).
+		NuRAPID(nurapidCfg(4, nurapid.DemotionOnly, nurapid.RandomDistance)),
+		NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance)),
+		NuRAPID(nurapidCfg(4, nurapid.Fastest, nurapid.RandomDistance)),
+		// LRUStudy: the LRU distance-replacement combos.
+		NuRAPID(nurapidCfg(4, nurapid.DemotionOnly, nurapid.LRUDistance)),
+		NuRAPID(nurapidCfg(4, nurapid.NextFastest, nurapid.LRUDistance)),
+		// Fig7/Fig8/Fig9: the d-group count sweep.
+		NuRAPID(nurapidCfg(2, nurapid.NextFastest, nurapid.RandomDistance)),
+		NuRAPID(nurapidCfg(8, nurapid.NextFastest, nurapid.RandomDistance)),
+		// Fig9-Fig11 + ablation: the D-NUCA policies.
+		DNUCA(nuca.DefaultConfig()),
+		DNUCA(dnEnergy),
+		DNUCA(dnIncr),
+		// Ablation: promotion-trigger and restricted-pointer variants.
+		NuRAPID(trig2),
+		NuRAPID(trig4),
+		NuRAPID(restrict),
+	}
+	seen := make(map[string]bool, len(orgs))
+	deduped := orgs[:0]
+	for _, o := range orgs {
+		if seen[o.Key] {
+			continue
+		}
+		seen[o.Key] = true
+		deduped = append(deduped, o)
+	}
+	return deduped
+}
+
+// All runs every experiment in paper order, then the ablations. The
+// whole campaign's run set is prefetched in one pool pass first, so a
+// parallel runner keeps every worker busy across experiment boundaries
+// instead of draining the pool at each experiment's barrier; with a
+// serial runner the prefetch is a no-op and runs stay lazy.
 func (r *Runner) All() []*Experiment {
+	r.Prefetch(r.Apps, paperRunSet())
 	return []*Experiment{
 		r.Table1(), r.Table2(), r.Table3(), r.Table4(),
 		r.Fig4(), r.Fig5(), r.Fig6(), r.LRUStudy(),

@@ -1,0 +1,219 @@
+// Parallel trace-gen + replay pipeline. The measurement campaigns'
+// replay work factors into two kinds of independence the serial path
+// never exploited: trace generation is embarrassingly parallel across
+// (app, seed) streams (each stream is independently seeded, so shards
+// need no coordination), and replay is embarrassingly parallel across
+// (app, org) jobs (each job builds a private L2 and memory). Within one
+// job, cache state cannot be split, so the request stream is replayed
+// in chunks that carry the completion clock sequentially (replayChunks)
+// — chunk boundaries respect the port-serialization contract, and the
+// per-job results merge deterministically by job index, reproducing the
+// serial ReplayResult and Fingerprint bytes exactly whatever the worker
+// count or completion order.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/memsys"
+	"nurapid/internal/workload"
+)
+
+// DefaultChunkRequests is the replay chunk size: large enough that the
+// batched AccessMany loop dominates chunking overhead, small enough
+// that a chunk's request slice stays cache- and allocator-friendly
+// (~2.5 MB at 40 bytes/request).
+const DefaultChunkRequests = 1 << 16
+
+// ReplayJob names one replay: app's request stream at Seed, budgeted at
+// N requests, driven through a fresh instance of Org.
+type ReplayJob struct {
+	App  workload.App
+	Seed uint64
+	N    int
+	Org  Organization
+}
+
+// ReplayOptions configures ReplayAll's worker pool.
+type ReplayOptions struct {
+	// Workers bounds the pool; <= 1 replays serially on the calling
+	// goroutine, in job order.
+	Workers int
+	// ChunkRequests is the replay chunk size; <= 0 selects
+	// DefaultChunkRequests. The chunk size never changes results, only
+	// the granularity of the inner replay loop.
+	ChunkRequests int
+
+	// order permutes replay-task submission (a test hook: shuffled
+	// completion order must not change the merged results).
+	order []int
+}
+
+// traceGroup shares one generated trace among every job that replays
+// the same (app, seed, n) stream: the producer task extracts the trace
+// once and closes ready; consumer tasks block on ready before
+// replaying. Producer tasks are always submitted ahead of consumer
+// tasks, so a pool worker blocked in a consumer always has its
+// producer already running (or finished) on another worker — the
+// pipeline cannot deadlock at any pool size.
+type traceGroup struct {
+	app   workload.App
+	seed  uint64
+	n     int
+	ready chan struct{}
+	trace Trace
+}
+
+// ReplayAll runs every job on a bounded worker pool and returns the
+// results indexed like jobs (the deterministic merge). Trace generation
+// is sharded per (app, seed, n) stream — jobs replaying the same stream
+// share one generation pass — and overlaps with the replay of streams
+// already generated. The results are byte-identical to calling
+// ReplayTrace serially per job, whatever Workers is; a tested,
+// race-checked guarantee.
+//
+//nurapid:coldpath
+func ReplayAll(model *cacti.Model, jobs []ReplayJob, opts ReplayOptions) []*ReplayResult {
+	if len(jobs) == 0 {
+		return nil
+	}
+	chunk := opts.ChunkRequests
+	if chunk <= 0 {
+		chunk = DefaultChunkRequests
+	}
+
+	// Group jobs by stream so each trace is generated exactly once.
+	groups := make(map[string]*traceGroup)
+	var ordered []*traceGroup
+	jobGroup := make([]*traceGroup, len(jobs))
+	for i, j := range jobs {
+		key := fmt.Sprintf("%s\x00%d\x00%d", j.App.Name, j.Seed, j.N)
+		g, ok := groups[key]
+		if !ok {
+			g = &traceGroup{app: j.App, seed: j.Seed, n: j.N, ready: make(chan struct{})}
+			groups[key] = g
+			ordered = append(ordered, g)
+		}
+		jobGroup[i] = g
+	}
+
+	results := make([]*ReplayResult, len(jobs))
+	tasks := make([]func(), 0, len(ordered)+len(jobs))
+	for _, g := range ordered {
+		g := g
+		tasks = append(tasks, func() {
+			g.trace = extractChunked(g.app, g.seed, g.n, chunk)
+			close(g.ready)
+		})
+	}
+	jobOrder := opts.order
+	if jobOrder == nil {
+		jobOrder = make([]int, len(jobs))
+		for i := range jobOrder {
+			jobOrder[i] = i
+		}
+	} else if len(jobOrder) != len(jobs) {
+		panic(fmt.Sprintf("sim: replay order permutation has %d entries for %d jobs",
+			len(jobOrder), len(jobs)))
+	}
+	for _, i := range jobOrder {
+		i := i
+		job := jobs[i]
+		g := jobGroup[i]
+		tasks = append(tasks, func() {
+			<-g.ready
+			results[i] = replayJob(model, job, g.trace, chunk)
+		})
+	}
+	runPool(opts.Workers, tasks)
+	return results
+}
+
+// extractChunked generates one stream's trace through the chunked
+// TraceStream path and assembles the full Trace for its consumers. The
+// chunk concatenation is byte-identical to a one-shot extraction, so
+// the chunk size never leaks into results.
+func extractChunked(app workload.App, seed uint64, n int, chunk int) Trace {
+	s := NewTraceStream(app, seed, n)
+	reqs := make([]memsys.Request, 0, n)
+	for {
+		c := s.Next(chunk)
+		if c == nil {
+			break
+		}
+		reqs = append(reqs, c...)
+	}
+	return Trace{Reqs: reqs, TailGap: s.TailGap(), Instructions: s.Instructions()}
+}
+
+// replayJob replays one job's share of the pipeline: a fresh L2 and
+// memory, the chunked inner loop, the trace's tail gap, and the result
+// harvest — identical code to the serial ReplayTrace path.
+func replayJob(model *cacti.Model, job ReplayJob, t Trace, chunk int) *ReplayResult {
+	mem := memsys.NewMemory(job.Org.blockBytes())
+	l2 := job.Org.Factory(model, mem)
+	end := replayChunks(l2, t.Reqs, chunk) + t.TailGap
+	return buildReplayResult(job.Org.Key, l2, mem, int64(len(t.Reqs)), end)
+}
+
+// runPool executes tasks on min(w, len(tasks)) goroutines, handing them
+// out in submission order; with w <= 1 it runs them inline, in order,
+// on the calling goroutine. A task that panics no longer kills the
+// process from an anonymous worker goroutine: the panic is recovered,
+// the one with the lowest submission index is latched (so which panic
+// wins is deterministic under any completion order), the remaining
+// tasks still run — releasing every singleflight waiter — and the
+// latched panic is re-raised on the caller's goroutine after the pool
+// drains.
+func runPool(w int, tasks []func()) {
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	if w <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	type indexedTask struct {
+		i  int
+		fn func()
+	}
+	ch := make(chan indexedTask)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicIdx = -1
+		panicVal any
+	)
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							mu.Lock()
+							if panicIdx == -1 || t.i < panicIdx {
+								panicIdx, panicVal = t.i, p
+							}
+							mu.Unlock()
+						}
+					}()
+					t.fn()
+				}()
+			}
+		}()
+	}
+	for i, t := range tasks {
+		ch <- indexedTask{i: i, fn: t}
+	}
+	close(ch)
+	wg.Wait()
+	if panicIdx != -1 {
+		panic(fmt.Sprintf("sim: pooled task %d panicked: %v", panicIdx, panicVal))
+	}
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"nurapid/internal/cacti"
+	"nurapid/internal/memsys"
+	"nurapid/internal/nuca"
+	"nurapid/internal/nurapid"
+	"nurapid/internal/workload"
+)
+
+// sliceSource replays a fixed instruction sequence then exhausts — the
+// bounded-source shape (trace files, workload.Limit) whose trailing
+// think time ExtractTrace used to discard.
+type sliceSource struct {
+	instrs []workload.Instr
+	pos    int
+}
+
+func (s *sliceSource) Next() (workload.Instr, bool) {
+	if s.pos >= len(s.instrs) {
+		return workload.Instr{}, false
+	}
+	in := s.instrs[s.pos]
+	s.pos++
+	return in, true
+}
+
+// TestExtractTraceTailGap pins the tail-gap fix: a source ending in
+// non-memory instructions must surface the trailing think time and the
+// full instruction count instead of silently dropping both.
+func TestExtractTraceTailGap(t *testing.T) {
+	alu := workload.Instr{Kind: workload.ALU}
+	src := &sliceSource{instrs: []workload.Instr{
+		alu,
+		{Kind: workload.Load, Addr: 0x1000},
+		alu, alu,
+		{Kind: workload.Store, Addr: 0x2000},
+		alu, alu, alu,
+	}}
+	tr := ExtractTraceSource(src, 100)
+	if len(tr.Reqs) != 2 {
+		t.Fatalf("extracted %d requests, want 2", len(tr.Reqs))
+	}
+	if tr.Reqs[0].Gap != 1 || tr.Reqs[0].Write {
+		t.Fatalf("request 0 = %+v, want Load with Gap 1", tr.Reqs[0])
+	}
+	if tr.Reqs[1].Gap != 2 || !tr.Reqs[1].Write {
+		t.Fatalf("request 1 = %+v, want Store with Gap 2", tr.Reqs[1])
+	}
+	if tr.TailGap != 3 {
+		t.Fatalf("TailGap = %d, want 3 (the trailing ALU run)", tr.TailGap)
+	}
+	if tr.Instructions != 8 {
+		t.Fatalf("Instructions = %d, want 8", tr.Instructions)
+	}
+
+	// Budget-bounded extraction stops at a memory operation, so the
+	// tail gap is zero and the unconsumed suffix is not accounted.
+	src2 := &sliceSource{instrs: src.instrs}
+	tr2 := ExtractTraceSource(src2, 1)
+	if len(tr2.Reqs) != 1 || tr2.TailGap != 0 || tr2.Instructions != 2 {
+		t.Fatalf("budgeted extraction = %d reqs, tail %d, %d instructions; want 1, 0, 2",
+			len(tr2.Reqs), tr2.TailGap, tr2.Instructions)
+	}
+}
+
+// TestReplayTraceAccountsTailGap pins that the trailing think time
+// reaches FinalClock (and therefore the fingerprint) through
+// ReplayTrace, while a zero tail leaves Replay's bytes untouched.
+func TestReplayTraceAccountsTailGap(t *testing.T) {
+	app, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf workload model missing")
+	}
+	model := cacti.Default()
+	org := NuRAPID(nurapid.DefaultConfig())
+	tr := ExtractTraceApp(app, 1, 2000)
+	if tr.TailGap != 0 {
+		t.Fatalf("generator-backed trace has TailGap %d, want 0", tr.TailGap)
+	}
+	plain := Replay(model, org, tr.Reqs)
+	viaTrace := ReplayTrace(model, org, tr)
+	if plain.Fingerprint() != viaTrace.Fingerprint() {
+		t.Fatalf("zero-tail ReplayTrace fingerprint %#x differs from Replay %#x",
+			viaTrace.Fingerprint(), plain.Fingerprint())
+	}
+	tailed := tr
+	tailed.TailGap = 97
+	withTail := ReplayTrace(model, org, tailed)
+	if got, want := withTail.FinalClock, plain.FinalClock+97; got != want {
+		t.Fatalf("FinalClock with tail = %d, want %d", got, want)
+	}
+	if withTail.Fingerprint() == plain.Fingerprint() {
+		t.Fatal("tail gap did not reach the fingerprint")
+	}
+}
+
+// TestTraceStreamMatchesExtract pins the sharding contract of chunked
+// generation: the concatenation of a TraceStream's chunks must be
+// byte-identical to a one-shot ExtractTrace at every chunk size, so the
+// chunk size can never leak into replay results.
+func TestTraceStreamMatchesExtract(t *testing.T) {
+	app, ok := workload.ByName("applu")
+	if !ok {
+		t.Fatal("applu workload model missing")
+	}
+	const n = 5000
+	want := ExtractTrace(app, 1, n)
+	if len(want) != n {
+		t.Fatalf("one-shot extraction produced %d requests, want %d", len(want), n)
+	}
+	for _, chunk := range []int{1, 7, 1000, n, 10 * n} {
+		s := NewTraceStream(app, 1, n)
+		var got []memsys.Request
+		for {
+			c := s.Next(chunk)
+			if c == nil {
+				break
+			}
+			got = append(got, c...)
+		}
+		if !s.Done() {
+			t.Fatalf("chunk %d: stream not done after nil chunk", chunk)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk %d: chunked extraction diverged from one-shot", chunk)
+		}
+		if s.TailGap() != 0 {
+			t.Fatalf("chunk %d: generator-backed stream has tail gap %d", chunk, s.TailGap())
+		}
+		if s.Instructions() < int64(n) {
+			t.Fatalf("chunk %d: %d instructions for %d requests", chunk, s.Instructions(), n)
+		}
+	}
+}
+
+// parReplayJobs is the job matrix the determinism tests shard: two
+// seeded app streams replayed through one organization per family, so
+// both the generation sharing (several orgs per stream) and the
+// cross-family merge are exercised.
+func parReplayJobs(t *testing.T, n int) []ReplayJob {
+	t.Helper()
+	var jobs []ReplayJob
+	orgs := []Organization{Base(), DNUCA(nuca.DefaultConfig()), NuRAPID(nurapid.DefaultConfig())}
+	for _, name := range []string{"mcf", "gzip"} {
+		app, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("app %s missing", name)
+		}
+		for _, org := range orgs {
+			jobs = append(jobs, ReplayJob{App: app, Seed: 1, N: n, Org: org})
+		}
+	}
+	return jobs
+}
+
+// replaySnapshotString flattens a ReplayResult into a comparable string
+// covering the snapshot and every counter — the "byte-identical
+// snapshot" half of the determinism contract (Fingerprint covers the
+// same fields hashed).
+func replaySnapshotString(r *ReplayResult) string {
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		return "writetext error: " + err.Error()
+	}
+	fmt.Fprintf(&b, "fingerprint %016x\n", r.Fingerprint())
+	return b.String()
+}
+
+// TestReplayAllMatchesSerial is the chunked-replay determinism
+// contract: at 1, 2, 4, and 8 workers, with shuffled task submission
+// standing in for shuffled completion order, and at several chunk
+// sizes, ReplayAll must reproduce the serial per-job ReplayTrace bytes
+// exactly. Run under -race (make race-runner / CI) this also shakes
+// out data races in the producer/consumer pipeline.
+func TestReplayAllMatchesSerial(t *testing.T) {
+	const n = 4000
+	jobs := parReplayJobs(t, n)
+	model := cacti.Default()
+
+	want := make([]string, len(jobs))
+	for i, j := range jobs {
+		want[i] = replaySnapshotString(ReplayTrace(model, j.Org, ExtractTraceApp(j.App, j.Seed, j.N)))
+	}
+
+	// A fixed non-trivial permutation: reversed pairs across the job
+	// list, so later-submitted jobs complete before earlier ones even
+	// on a single-proc pool.
+	shuffled := make([]int, len(jobs))
+	for i := range shuffled {
+		shuffled[i] = len(jobs) - 1 - i
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{0, 512, 1 << 16} {
+			opts := ReplayOptions{Workers: workers, ChunkRequests: chunk, order: shuffled}
+			got := ReplayAll(model, jobs, opts)
+			if len(got) != len(jobs) {
+				t.Fatalf("workers=%d chunk=%d: %d results for %d jobs", workers, chunk, len(got), len(jobs))
+			}
+			for i, res := range got {
+				if res == nil {
+					t.Fatalf("workers=%d chunk=%d: job %d missing result", workers, chunk, i)
+				}
+				if s := replaySnapshotString(res); s != want[i] {
+					t.Fatalf("workers=%d chunk=%d: job %d diverged from serial\nserial:\n%s\npool:\n%s",
+						workers, chunk, i, want[i], s)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayAllSharesTraceGeneration pins the sharded-generation
+// grouping: jobs over the same (app, seed, n) stream must replay the
+// very same trace (one producer per stream), observable as identical
+// request counts and — for identical orgs — identical fingerprints.
+func TestReplayAllSharesTraceGeneration(t *testing.T) {
+	app, ok := workload.ByName("applu")
+	if !ok {
+		t.Fatal("applu workload model missing")
+	}
+	model := cacti.Default()
+	org := NuRAPID(nurapid.DefaultConfig())
+	jobs := []ReplayJob{
+		{App: app, Seed: 1, N: 2000, Org: org},
+		{App: app, Seed: 1, N: 2000, Org: org},
+		{App: app, Seed: 2, N: 2000, Org: org},
+	}
+	got := ReplayAll(model, jobs, ReplayOptions{Workers: 4})
+	if got[0].Fingerprint() != got[1].Fingerprint() {
+		t.Fatal("same (app, seed, n, org) jobs produced different fingerprints")
+	}
+	if got[0].Fingerprint() == got[2].Fingerprint() {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+// panickingOrg is an organization whose factory panics — the seeded
+// fault for the worker-pool failure-handling tests.
+func panickingOrg() Organization {
+	return Organization{Key: "panicker", Factory: func(m *cacti.Model, mem *memsys.Memory) memsys.LowerLevel {
+		panic("sim: seeded test panic")
+	}}
+}
+
+// TestRunPanicReleasesSingleflight seeds a panic into the one memoized
+// execution and checks every concurrent caller of the key — the
+// executor and all singleflight waiters — observes it. Before the
+// latch, waiters were released with a nil result and crashed on a
+// secondary nil dereference (or the process died from a pool
+// goroutine).
+func TestRunPanicReleasesSingleflight(t *testing.T) {
+	starts := 0
+	r := smallRunner(t, WithInstructions(60_000),
+		WithObserver(ObserverFunc(func(e RunEvent) {
+			if e.Kind == RunStart {
+				starts++
+			}
+		})))
+	app := r.Apps[0]
+
+	const callers = 8
+	panics := make([]string, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[i] = fmt.Sprint(p)
+				}
+			}()
+			r.Run(app, panickingOrg())
+		}(i)
+	}
+	wg.Wait()
+
+	if starts != 1 {
+		t.Fatalf("panicking run started %d times, want exactly 1", starts)
+	}
+	for i, p := range panics {
+		if p == "" {
+			t.Fatalf("caller %d did not observe the panic", i)
+		}
+		if !strings.Contains(p, "seeded test panic") || !strings.Contains(p, "panicker") {
+			t.Fatalf("caller %d panic %q does not carry the seeded failure and run key", i, p)
+		}
+	}
+}
+
+// TestPrefetchPanicPropagates seeds a panic into one task of a
+// parallel Prefetch and checks the pool finishes the remaining tasks,
+// then re-raises the failure from Prefetch on the caller's goroutine —
+// instead of the pre-fix behaviour, where the panic killed the process
+// from an anonymous worker goroutine mid-fan-out.
+func TestPrefetchPanicPropagates(t *testing.T) {
+	finishes := 0
+	r := smallRunner(t, WithInstructions(60_000), WithWorkers(4),
+		WithObserver(ObserverFunc(func(e RunEvent) {
+			if e.Kind == RunFinish {
+				finishes++
+			}
+		})))
+
+	var caught string
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				caught = fmt.Sprint(p)
+			}
+		}()
+		r.Prefetch(r.Apps, []Organization{Base(), panickingOrg(), Ideal()})
+	}()
+
+	if caught == "" {
+		t.Fatal("Prefetch swallowed the task panic")
+	}
+	if !strings.Contains(caught, "seeded test panic") {
+		t.Fatalf("Prefetch panic %q does not carry the seeded failure", caught)
+	}
+	// Every healthy (app, org) pair still ran: the pool drained instead
+	// of dying mid-flight.
+	if want := len(r.Apps) * 2; finishes != want {
+		t.Fatalf("pool finished %d healthy runs before re-raising, want %d", finishes, want)
+	}
+}
+
+// TestRunPoolPanicIsDeterministic pins which panic wins when several
+// tasks fail: the lowest submission index, whatever the completion
+// order.
+func TestRunPoolPanicIsDeterministic(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		var caught string
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					caught = fmt.Sprint(p)
+				}
+			}()
+			runPool(4, []func(){
+				func() {},
+				func() { panic("sim: first seeded panic") },
+				func() { panic("sim: second seeded panic") },
+				func() {},
+			})
+		}()
+		if !strings.Contains(caught, "task 1") || !strings.Contains(caught, "first seeded panic") {
+			t.Fatalf("trial %d: runPool re-raised %q, want the lowest-index panic (task 1)", trial, caught)
+		}
+	}
+}
+
+// TestPaperRunSetCoversAll pins the union prefetch against drift: after
+// prefetching paperRunSet, rendering the whole campaign must execute no
+// further simulations. An experiment gaining an organization missing
+// from the union would start a run here.
+func TestPaperRunSetCoversAll(t *testing.T) {
+	starts := 0
+	r := smallRunner(t, WithInstructions(60_000), WithWorkers(2),
+		WithObserver(ObserverFunc(func(e RunEvent) {
+			if e.Kind == RunStart {
+				starts++
+			}
+		})))
+	r.Prefetch(r.Apps, paperRunSet())
+	prefetched := starts
+	if prefetched == 0 {
+		t.Fatal("union prefetch executed nothing")
+	}
+	for _, e := range r.All() {
+		if e == nil {
+			t.Fatal("nil experiment")
+		}
+	}
+	if starts != prefetched {
+		t.Fatalf("All() executed %d runs beyond the union prefetch — paperRunSet is missing organizations",
+			starts-prefetched)
+	}
+}

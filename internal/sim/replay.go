@@ -26,28 +26,131 @@ import (
 // operation — a cheap stand-in for core think time. Deterministic for
 // a given (app, seed, n).
 func ExtractTrace(app workload.App, seed uint64, n int) []memsys.Request {
-	gen := workload.MustNewGenerator(app, seed)
-	reqs := make([]memsys.Request, 0, n)
-	gap := int64(0)
-	for len(reqs) < n {
-		in, ok := gen.Next()
+	return ExtractTraceApp(app, seed, n).Reqs
+}
+
+// Trace bundles an extracted request stream with the accounting the raw
+// request slice cannot carry: the think time trailing the last memory
+// operation (which a Gap field on the next request would normally hold,
+// but there is no next request) and the total instructions the stream
+// covers. Replaying Reqs alone silently drops TailGap; ReplayTrace
+// accounts it.
+type Trace struct {
+	Reqs []memsys.Request
+	// TailGap is the number of non-memory instructions issued after the
+	// last Load/Store before the source ended. Zero for request-budget
+	// extraction from an inexhaustible generator (extraction stops at a
+	// memory operation), nonzero when a bounded source ends mid-gap.
+	TailGap int64
+	// Instructions is the total instruction count consumed producing
+	// the trace: len(Reqs) memory operations plus every inter-request
+	// gap plus TailGap.
+	Instructions int64
+}
+
+// ExtractTraceApp extracts app's request stream like ExtractTrace but
+// returns the full Trace, including the tail-gap and instruction
+// accounting.
+func ExtractTraceApp(app workload.App, seed uint64, n int) Trace {
+	return ExtractTraceSource(workload.MustNewGenerator(app, seed), n)
+}
+
+// ExtractTraceSource drains up to n requests from src. The request
+// bytes are identical to ExtractTrace over the same stream; the Trace
+// additionally carries the trailing think time of a source that ends
+// after its last memory operation, so bounded sources (trace files,
+// workload.Limit) lose no instruction accounting.
+func ExtractTraceSource(src workload.Source, n int) Trace {
+	s := NewSourceStream(src, n)
+	t := Trace{Reqs: s.Next(n)}
+	if t.Reqs == nil {
+		t.Reqs = []memsys.Request{}
+	}
+	t.TailGap = s.TailGap()
+	t.Instructions = s.Instructions()
+	return t
+}
+
+// TraceStream incrementally extracts an L2 request stream in chunks,
+// carrying the inter-request gap across chunk boundaries so the
+// concatenation of its chunks is byte-identical to a one-shot
+// ExtractTrace of the same source and budget (a tested guarantee).
+// The chunked form is what the parallel replay pipeline works in:
+// generation stays a single sequential stream (the generator is
+// stateful), while downstream replay proceeds chunk by chunk.
+type TraceStream struct {
+	src   workload.Source
+	left  int   // requests still to extract
+	gap   int64 // think time accumulated since the last request
+	insts int64 // instructions consumed so far
+	done  bool  // source exhausted or budget reached
+}
+
+// NewTraceStream opens a chunked extraction of app's request stream at
+// seed, budgeted at n requests.
+func NewTraceStream(app workload.App, seed uint64, n int) *TraceStream {
+	return NewSourceStream(workload.MustNewGenerator(app, seed), n)
+}
+
+// NewSourceStream opens a chunked extraction over an arbitrary
+// instruction source, budgeted at n requests.
+func NewSourceStream(src workload.Source, n int) *TraceStream {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative trace budget %d", n))
+	}
+	return &TraceStream{src: src, left: n}
+}
+
+// Next extracts the next chunk of up to limit requests, or nil when the
+// stream is exhausted. Each returned slice is freshly allocated, so
+// chunks may be handed to concurrent consumers.
+func (s *TraceStream) Next(limit int) []memsys.Request {
+	if s.done || limit <= 0 {
+		return nil
+	}
+	if limit > s.left {
+		limit = s.left
+	}
+	reqs := make([]memsys.Request, 0, limit)
+	for len(reqs) < limit {
+		in, ok := s.src.Next()
 		if !ok {
+			s.done = true
 			break
 		}
+		s.insts++
 		switch in.Kind {
 		case workload.Load, workload.Store:
 			reqs = append(reqs, memsys.Request{
 				Addr:  in.Addr,
 				Write: in.Kind == workload.Store,
-				Gap:   gap,
+				Gap:   s.gap,
 			})
-			gap = 0
+			s.gap = 0
 		default:
-			gap++
+			s.gap++
 		}
+	}
+	s.left -= len(reqs)
+	if s.left == 0 {
+		s.done = true
+	}
+	if len(reqs) == 0 {
+		return nil
 	}
 	return reqs
 }
+
+// Done reports whether the stream has no further requests.
+func (s *TraceStream) Done() bool { return s.done }
+
+// TailGap returns the think time accumulated after the last extracted
+// request. It only settles once Done; mid-stream it is the gap carried
+// into the next chunk.
+func (s *TraceStream) TailGap() int64 { return s.gap }
+
+// Instructions returns the total instructions consumed so far.
+func (s *TraceStream) Instructions() int64 { return s.insts }
 
 // ReplayResult captures the organization-level outcome of one batched
 // trace replay.
@@ -84,13 +187,57 @@ func (r *ReplayResult) Snapshot() []stats.KV {
 //
 //nurapid:coldpath
 func Replay(model *cacti.Model, org Organization, reqs []memsys.Request) *ReplayResult {
+	return ReplayTrace(model, org, Trace{Reqs: reqs})
+}
+
+// ReplayTrace replays a full Trace through a fresh instance of org:
+// the request stream runs on the batched path, and the trace's trailing
+// think time is added to FinalClock, so a bounded source's tail gap is
+// no longer silently dropped from the replay's end-to-end latency. For
+// a TailGap of zero the result is bit-identical to Replay.
+//
+//nurapid:coldpath
+func ReplayTrace(model *cacti.Model, org Organization, t Trace) *ReplayResult {
 	mem := memsys.NewMemory(org.blockBytes())
 	l2 := org.Factory(model, mem)
-	end := memsys.AccessMany(l2, 0, reqs, nil)
+	end := replayChunks(l2, t.Reqs, len(t.Reqs)) + t.TailGap
+	return buildReplayResult(org.Key, l2, mem, int64(len(t.Reqs)), end)
+}
+
+// replayChunks drives reqs through l2 in chunks of at most chunk
+// requests, carrying the completion clock across chunk boundaries.
+// Because AccessMany's replay rule (now_i = DoneAt_{i-1} + Gap_{i-1})
+// threads one clock through the whole sequence, folding the returned
+// clock into the next chunk's start reproduces the single-call replay
+// exactly — the chunk boundary is invisible to the organization's port
+// and movement serialization. This is the per-shard inner loop of the
+// parallel replay pipeline; cache state cannot be split, so within one
+// (app, org) replay chunks stay strictly sequential.
+//
+//nurapid:coldpath
+func replayChunks(l2 memsys.LowerLevel, reqs []memsys.Request, chunk int) int64 {
+	if chunk <= 0 {
+		chunk = DefaultChunkRequests
+	}
+	now := int64(0)
+	for start := 0; start < len(reqs); start += chunk {
+		end := start + chunk
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		now = memsys.AccessMany(l2, now, reqs[start:end], nil)
+	}
+	return now
+}
+
+// buildReplayResult harvests the organization's post-replay state into
+// a ReplayResult; shared by the serial and pooled replay paths so both
+// produce identical bytes by construction.
+func buildReplayResult(orgKey string, l2 memsys.LowerLevel, mem *memsys.Memory, requests, finalClock int64) *ReplayResult {
 	res := &ReplayResult{
-		Org:        org.Key,
-		Requests:   int64(len(reqs)),
-		FinalClock: end,
+		Org:        orgKey,
+		Requests:   requests,
+		FinalClock: finalClock,
 		Hits:       l2.Distribution().Total() - l2.Distribution().MissCount(),
 		L2EnergyNJ: l2.EnergyNJ(),
 		MemReads:   mem.Accesses - mem.Writes,

@@ -175,9 +175,15 @@ type Runner struct {
 
 // memoCell is one singleflight slot: the once gates the single
 // execution, res is written inside it and read only after Do returns.
+// panicked latches a panic escaping the one execution: sync.Once marks
+// itself done even when f panics, so without the latch concurrent
+// callers blocked on the Once would be released with a nil result and
+// crash on a confusing secondary nil dereference. With it, every caller
+// of the key — first and waiters alike — re-raises the original panic.
 type memoCell struct {
-	once sync.Once
-	res  *RunResult
+	once     sync.Once
+	res      *RunResult
+	panicked any
 }
 
 // cell returns the singleflight slot for key, creating it if needed.
@@ -207,10 +213,18 @@ func (r *Runner) emit(e RunEvent) {
 }
 
 // runMemo executes compute exactly once per key, concurrent duplicates
-// included, and emits start/finish events around the one execution.
+// included, and emits start/finish events around the one execution. A
+// panic inside compute is recovered, latched on the cell, and re-raised
+// from every caller of the key — releasing concurrent singleflight
+// waiters with the real failure instead of a nil result.
 func (r *Runner) runMemo(key, app, org string, hasAPKI bool, compute func() *RunResult) *RunResult {
 	c := r.cell(key)
 	c.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.panicked = p
+			}
+		}()
 		r.emit(RunEvent{Kind: RunStart, App: app, Org: org})
 		var start time.Duration
 		if r.clock != nil {
@@ -226,6 +240,9 @@ func (r *Runner) runMemo(key, app, org string, hasAPKI bool, compute func() *Run
 			IPC: res.CPU.IPC, APKI: res.CPU.APKI, HasAPKI: hasAPKI, Elapsed: elapsed,
 			Metrics: res.Snapshot()})
 	})
+	if c.panicked != nil {
+		panic(fmt.Sprintf("sim: run %s panicked: %v", key, c.panicked))
+	}
 	return c.res
 }
 
@@ -286,31 +303,16 @@ func (r *Runner) Prefetch(apps []workload.App, orgs []Organization) {
 // fanOut runs tasks on min(Workers, len(tasks)) goroutines and waits
 // for all of them; with Workers <= 1 it does nothing (serial callers
 // compute on demand). Tasks are handed out in submission order, but
-// completion order is unspecified.
+// completion order is unspecified. A panicking task no longer takes the
+// process down from an anonymous worker goroutine: runPool recovers it,
+// lets the remaining tasks finish (releasing their singleflight
+// waiters), and re-raises the lowest-index panic here, on the
+// Prefetch/fan-out caller's goroutine.
 func (r *Runner) fanOut(tasks []func()) {
-	w := r.Workers
-	if w <= 1 {
+	if r.Workers <= 1 {
 		return
 	}
-	if w > len(tasks) {
-		w = len(tasks)
-	}
-	ch := make(chan func())
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				t()
-			}
-		}()
-	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
-	wg.Wait()
+	runPool(r.Workers, tasks)
 }
 
 // RelPerf returns org's performance relative to the base hierarchy for
