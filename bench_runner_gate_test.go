@@ -1,0 +1,67 @@
+package nurapid
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSweepEntryGateStamp pins the per-entry gate stamps: on a host that
+// cannot measure parallelism every entry says so (naming the proc
+// count), and on a capable host exactly the 4-worker point reads as
+// enforced.
+func TestSweepEntryGateStamp(t *testing.T) {
+	for _, w := range benchSweepWorkers {
+		if got := sweepEntryGate(w, 1); got != "skipped (GOMAXPROCS=1)" {
+			t.Errorf("gate(workers=%d, procs=1) = %q", w, got)
+		}
+	}
+	if got := sweepEntryGate(4, 8); !strings.HasPrefix(got, "enforced") {
+		t.Errorf("gate(workers=4, procs=8) = %q, want enforced", got)
+	}
+	for _, w := range []int{1, 2, 8, 16} {
+		if got := sweepEntryGate(w, 8); strings.HasPrefix(got, "enforced") {
+			t.Errorf("gate(workers=%d, procs=8) = %q; only the 4-worker point gates", w, got)
+		}
+	}
+}
+
+// TestShouldWriteRunnerBench pins the overwrite policy: a low-proc run
+// must never replace a record whose efficiency gate was actually
+// enforced, while missing, unreadable, or same-capability records are
+// fair game.
+func TestShouldWriteRunnerBench(t *testing.T) {
+	record := func(procs int) []byte {
+		data, err := json.Marshal(runnerBench{GOMAXPROCS: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name  string
+		prev  []byte
+		procs int
+		want  bool
+	}{
+		{"no-previous-record", nil, 1, true},
+		{"unreadable-record", []byte("{not json"), 1, true},
+		{"one-proc-over-one-proc", record(1), 1, true},
+		{"one-proc-over-enforced", record(16), 1, false},
+		{"two-proc-over-enforced", record(4), 2, false},
+		{"four-proc-over-enforced", record(16), 4, true},
+		{"many-proc-over-one-proc", record(1), 16, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, reason := shouldWriteRunnerBench(tc.prev, tc.procs)
+			if got != tc.want {
+				t.Fatalf("shouldWriteRunnerBench(procs=%d) = %v (%s), want %v",
+					tc.procs, got, reason, tc.want)
+			}
+			if reason == "" {
+				t.Fatal("decision carries no reason")
+			}
+		})
+	}
+}

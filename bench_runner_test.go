@@ -27,6 +27,47 @@ type runnerSweepEntry struct {
 	WallNS     int64   `json:"wall_ns"`
 	Speedup    float64 `json:"speedup"`
 	Efficiency float64 `json:"efficiency"`
+	// Gate stamps the entry with its own gating status, so a recorded
+	// curve can never be misread as an enforced one: a single-proc host
+	// records real wall times but meaningless speedups, and before the
+	// stamp a reader had to cross-reference the top-level EfficiencyGate
+	// to know which points the gate actually saw.
+	Gate string `json:"gate,omitempty"`
+}
+
+// sweepEntryGate renders one sweep entry's gating status: only the
+// 4-worker point is ever enforced, and only when the host has at least 4
+// procs to measure it with.
+func sweepEntryGate(workers, procs int) string {
+	if procs < 4 {
+		return fmt.Sprintf("skipped (GOMAXPROCS=%d)", procs)
+	}
+	if workers == 4 {
+		return "enforced (efficiency >= 0.5)"
+	}
+	return "not enforced (gate applies at 4 workers)"
+}
+
+// shouldWriteRunnerBench decides whether a fresh runner-bench record may
+// replace the previous BENCH_runner.json contents. A host with fewer
+// than 4 procs cannot measure wall-clock parallelism, so its record must
+// not clobber one measured with enough procs to enforce the efficiency
+// gate; anything else (no previous record, unreadable record, a host at
+// least as capable) overwrites.
+func shouldWriteRunnerBench(prev []byte, procs int) (bool, string) {
+	if len(prev) == 0 {
+		return true, "no previous record"
+	}
+	var old runnerBench
+	if err := json.Unmarshal(prev, &old); err != nil {
+		return true, fmt.Sprintf("previous record unreadable (%v)", err)
+	}
+	if procs < 4 && old.GOMAXPROCS >= 4 {
+		return false, fmt.Sprintf(
+			"refusing to overwrite a GOMAXPROCS=%d record (enforced gate) with a GOMAXPROCS=%d run that cannot measure parallelism",
+			old.GOMAXPROCS, procs)
+	}
+	return true, "previous record superseded"
 }
 
 // runnerBench is the record the bench smoke writes to BENCH_runner.json
@@ -142,7 +183,8 @@ func TestBenchRunnerSmoke(t *testing.T) {
 	}
 
 	serialWall, serialFPs := timePipeline(1)
-	sweep := []runnerSweepEntry{{Workers: 1, WallNS: serialWall.Nanoseconds(), Speedup: 1, Efficiency: 1}}
+	sweep := []runnerSweepEntry{{Workers: 1, WallNS: serialWall.Nanoseconds(), Speedup: 1, Efficiency: 1,
+		Gate: sweepEntryGate(1, procs)}}
 	effAt := map[int]float64{1: 1}
 	for _, w := range benchSweepWorkers[1:] {
 		wall, fps := timePipeline(w)
@@ -158,6 +200,7 @@ func TestBenchRunnerSmoke(t *testing.T) {
 			WallNS:     wall.Nanoseconds(),
 			Speedup:    speedup,
 			Efficiency: speedup / float64(w),
+			Gate:       sweepEntryGate(w, procs),
 		}
 		sweep = append(sweep, entry)
 		effAt[w] = entry.Efficiency
@@ -221,6 +264,14 @@ func TestBenchRunnerSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	data = append(data, '\n')
+	prev, readErr := os.ReadFile(out)
+	if readErr != nil {
+		prev = nil // no previous record (or unreadable): write fresh
+	}
+	if ok, reason := shouldWriteRunnerBench(prev, procs); !ok {
+		t.Logf("keeping existing %s: %s", out, reason)
+		return
+	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		t.Fatal(err)
 	}

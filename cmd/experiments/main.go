@@ -51,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1-table4, fig4-fig11, lru, ablation, sweep-*, cmp, or all")
+		experiment = flag.String("experiment", "all", "table1-table4, fig4-fig11, lru, ablation, predictor, sweep-*, cmp, or all")
 		n          = flag.Int64("n", 2_000_000, "instructions to simulate per application")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")

@@ -47,6 +47,12 @@ type Model struct {
 	NUCABankCycles  int     // raw 64-KB bank access before routing
 	SmartSearchCyc  int     // smart-search array latency
 	PointerOverhead float64 // relative energy overhead of NuRAPID fwd/rev pointers
+
+	// TagProbeNJ is the energy of one probe of NuRAPID's centralized
+	// sequential tag array. Hits fold it into the d-group access energy;
+	// misses charge it explicitly, and forward-pointer memoization
+	// credits it back per skipped probe.
+	TagProbeNJ float64
 }
 
 // Default returns the model calibrated to the paper's anchors:
@@ -75,6 +81,7 @@ func Default() *Model {
 		// 16-bit forward + reverse pointers on 51-bit tags / 1-Kbit
 		// blocks: ~2% extra bits switched per access.
 		PointerOverhead: 0.02,
+		TagProbeNJ:      0.05,
 	}
 }
 

@@ -69,6 +69,7 @@ const (
 	poEnqueue
 	poIssue
 	poInval
+	poBypass
 	numPoKinds
 )
 
@@ -80,11 +81,12 @@ var poCtorKinds = map[string]poKind{
 	"Promote": poPromote, "DemoteLink": poDemote, "Place": poPlace,
 	"SwapBacklog": poSwap,
 	"Enqueue":     poEnqueue, "Issue": poIssue, "Inval": poInval,
+	"Bypass": poBypass,
 }
 
 var poNames = [numPoKinds]string{
 	"Access", "Hit", "Miss", "Evict", "Promote", "DemoteLink", "Place", "SwapBacklog",
-	"Enqueue", "Issue", "Inval",
+	"Enqueue", "Issue", "Inval", "Bypass",
 }
 
 // poRank maps kinds onto the pinned order's rank ladder: emissions of
@@ -103,6 +105,9 @@ var poRank = [numPoKinds]int{
 	poEnqueue: 0,
 	poIssue:   0,
 	poInval:   6,
+	// Bypass sits where a suppressed promotion's movement links would:
+	// directly after the Hit outcome, before any trailing Inval.
+	poBypass: 3,
 }
 
 // poAllowed reports whether next may directly follow prev within the
@@ -132,10 +137,20 @@ func poAllowed(prev, next poKind) bool {
 		// batched AccessMany loops do exactly that — but never directly
 		// after a bare Access (its outcome is still pending).
 		return prev != poAccess
+	case poBypass:
+		// A bypass is a suppressed promotion: it directly follows its
+		// access's Hit outcome and nothing else.
+		return prev == poHit
 	}
 	if prev == poInval {
 		// Only a new access window may follow a shoot-down (handled by
 		// the poAccess/poEnqueue cases above).
+		return false
+	}
+	if prev == poBypass {
+		// A bypass closes its access window like a completed movement:
+		// only a new window or a trailing Inval (both handled above) may
+		// follow it.
 		return false
 	}
 	if prev == poPlace && poRank[next] == 1 {
@@ -470,7 +485,7 @@ func (a *poAnalysis) lowerAccessCallee(call *ast.CallExpr) *types.Func {
 			first: 1 << uint(poAccess),
 			last: 1<<uint(poHit) | 1<<uint(poMiss) | 1<<uint(poEvict) |
 				1<<uint(poPromote) | 1<<uint(poDemote) | 1<<uint(poPlace) |
-				1<<uint(poSwap),
+				1<<uint(poSwap) | 1<<uint(poBypass),
 		}
 	}
 	return fn

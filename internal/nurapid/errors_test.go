@@ -37,6 +37,12 @@ func TestNewErrorMessages(t *testing.T) {
 		{"unknown-placement", func(c *Config) { c.Placement = Placement(9) }, "placement"},
 		{"negative-trigger", func(c *Config) { c.PromoteHits = -1 }, "trigger"},
 		{"huge-trigger", func(c *Config) { c.PromoteHits = 201 }, "trigger"},
+		// Triggers past the uint8 range must be rejected with an error
+		// naming the saturation point, not silently truncated into the
+		// 8-bit per-frame hit counter (256 would wrap to a trigger of 0,
+		// promoting on every hit).
+		{"uint8-wrap-trigger", func(c *Config) { c.PromoteHits = 256 }, "saturates at 255"},
+		{"way-past-uint8-trigger", func(c *Config) { c.PromoteHits = 1000 }, "saturates at 255"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

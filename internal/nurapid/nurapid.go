@@ -49,6 +49,12 @@ const (
 	// Fastest promotes a hit block straight to d-group 0, rippling
 	// demotions outward until the freed frame absorbs the chain.
 	Fastest
+	// PredictiveBypass promotes like NextFastest, except that a hit on a
+	// block the sampled reuse-distance predictor flags as dead/streaming
+	// bypasses the promotion machinery entirely: no movement, and the
+	// block's saturating hit counter is reset so a later prediction flip
+	// still has to earn a full PromoteHits screen before promoting.
+	PredictiveBypass
 )
 
 func (p Promotion) String() string {
@@ -59,6 +65,8 @@ func (p Promotion) String() string {
 		return "next-fastest"
 	case Fastest:
 		return "fastest"
+	case PredictiveBypass:
+		return "predictive-bypass"
 	default:
 		return fmt.Sprintf("Promotion(%d)", int(p))
 	}
@@ -75,6 +83,11 @@ const (
 	// LRUDistance tracks true LRU among a d-group's frames (the paper's
 	// expensive reference point).
 	LRUDistance
+	// DeadOnArrival selects victims like RandomDistance, but a fill whose
+	// block the reuse-distance predictor flags as dead installs directly
+	// into the slowest d-group with a free frame (scanning slowest to
+	// fastest) instead of rippling demotions out of d-group 0.
+	DeadOnArrival
 )
 
 func (p DistancePolicy) String() string {
@@ -83,6 +96,8 @@ func (p DistancePolicy) String() string {
 		return "random"
 	case LRUDistance:
 		return "lru"
+	case DeadOnArrival:
+		return "dead-on-arrival"
 	default:
 		return fmt.Sprintf("DistancePolicy(%d)", int(p))
 	}
@@ -136,6 +151,14 @@ type Config struct {
 	// the screening D-NUCA performs with its slowest-first placement.
 	PromoteHits int
 
+	// Memoize enables forward-pointer memoization (after Ishihara &
+	// Fallah's way memoization): each set remembers the tag and way of
+	// its most recent access, and a repeat access to the same block skips
+	// the sequential tag probe. The memo is an energy optimization only —
+	// timing and placement are untouched — and each skipped probe credits
+	// the cacti tag-probe energy back.
+	Memoize bool
+
 	Seed uint64 // seed for random distance replacement
 
 	// Audit, when true, re-verifies the cache's structural invariants
@@ -187,6 +210,9 @@ type hotCounters struct {
 	writebacks int64
 	promotions int64
 	demotions  int64
+	bypasses   int64 // hits whose promotion the predictor suppressed
+	deadFills  int64 // fills installed dead-on-arrival in a slow d-group
+	memoHits   int64 // hits served through the per-set way memo
 }
 
 // Cache is a NuRAPID lower-level cache. It implements memsys.LowerLevel.
@@ -198,6 +224,7 @@ type Cache struct {
 	store  frameStore
 	tagLat int64
 	tagNJ  float64
+	memoNJ float64 // energy credited back per memoized (probe-free) hit
 
 	nGroups        int
 	framesPerGroup int
@@ -216,6 +243,12 @@ type Cache struct {
 	mem   *memsys.Memory
 	rng   *mathx.RNG
 	probe obs.Probe
+
+	// pred is non-nil iff a predictive policy is configured; the memo
+	// slices are non-nil iff Config.Memoize (memoWay -1 = no memo entry).
+	pred    *predictor
+	memoTag []uint64
+	memoWay []int32
 
 	dist   *stats.Distribution
 	ctrs   stats.Counters
@@ -271,7 +304,11 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 		return nil, fmt.Errorf("nurapid: unknown placement %v", cfg.Placement)
 	}
 	if cfg.PromoteHits < 0 || cfg.PromoteHits > 200 {
-		return nil, fmt.Errorf("nurapid: promotion trigger %d out of range", cfg.PromoteHits)
+		// The per-frame hit count is an 8-bit saturating counter capped at
+		// 255; triggers beyond 200 would sit in (or wrap into) the
+		// saturation zone and silently never (or instantly) fire, so the
+		// range check keeps the uint8 narrowing below provably lossless.
+		return nil, fmt.Errorf("nurapid: promotion trigger %d outside [0, 200] (the per-frame hit counter saturates at 255 and cannot represent larger screens)", cfg.PromoteHits)
 	}
 
 	plan := floorplan.NewLShapedPlan(totalMB, cfg.NumDGroups)
@@ -317,7 +354,8 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 		tags:           tags,
 		store:          newFrameStore(cfg.NumDGroups, framesPerGroup, nParts, partSize),
 		tagLat:         int64(m.TagCycles),
-		tagNJ:          0.05,
+		tagNJ:          m.TagProbeNJ,
+		memoNJ:         m.TagProbeNJ,
 		nGroups:        cfg.NumDGroups,
 		framesPerGroup: framesPerGroup,
 		nParts:         nParts,
@@ -334,6 +372,16 @@ func New(cfg Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error) {
 	if mathx.IsPow2(int64(framesPerGroup)) {
 		c.fpgShift = uint8(mathx.Log2(int64(framesPerGroup)))
 		c.fpgPow2 = true
+	}
+	if cfg.Promotion == PredictiveBypass || cfg.Distance == DeadOnArrival {
+		c.pred = newPredictor(geo.NumSets(), cfg.Assoc)
+	}
+	if cfg.Memoize {
+		c.memoTag = make([]uint64, geo.NumSets())
+		c.memoWay = make([]int32, geo.NumSets())
+		for i := range c.memoWay {
+			c.memoWay[i] = -1
+		}
 	}
 	return c, nil
 }
@@ -442,14 +490,32 @@ func (c *Cache) access(now int64, addr uint64, write bool, core int) memsys.Acce
 		c.probe.Emit(obs.Access(now, addr, write, core))
 	}
 	set := c.idx.SetIndex(addr)
-	way, hit := c.tags.FindTag(set, c.idx.Tag(addr))
-	if hit {
-		return c.accessHit(now, set, way, write)
+	tag := c.idx.Tag(addr)
+	// Predict before observe: the prediction for this access must not see
+	// the access itself, or the sampled and non-sampled sets would apply
+	// different policies to identical streams.
+	predDead := false
+	if c.pred != nil {
+		key := c.idx.BlockAddr(addr)
+		predDead = c.pred.predictDead(key)
+		c.pred.observe(set, key)
 	}
-	return c.accessMiss(now, addr, set, write)
+	// The per-set way memo short-circuits the tag probe on a repeat
+	// access. A memo entry can never be stale: promotion, demotion, and
+	// swaps move data frames but leave the block's tag way untouched, and
+	// evicting the memoized block requires a miss in this set, which
+	// overwrites the memo with the incoming block below.
+	if c.memoWay != nil && c.memoWay[set] >= 0 && c.memoTag[set] == tag {
+		return c.accessHit(now, set, int(c.memoWay[set]), tag, write, predDead, true)
+	}
+	way, hit := c.tags.FindTag(set, tag)
+	if hit {
+		return c.accessHit(now, set, way, tag, write, predDead, false)
+	}
+	return c.accessMiss(now, addr, set, tag, write, predDead)
 }
 
-func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResult {
+func (c *Cache) accessHit(now int64, set, way int, tag uint64, write, predDead, memoized bool) memsys.AccessResult {
 	line := c.tags.Line(set, way)
 	c.tags.Touch(set, way)
 	if write {
@@ -471,6 +537,13 @@ func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResu
 	start := c.port.Acquire(now, accessIssueInterval)
 	done := start + c.grpLat[g]
 	c.chargeAccess(g)
+	if memoized {
+		// The memoized forward pointer skipped the sequential tag probe;
+		// credit the probe energy back (the d-group access charge above
+		// folds the probe in on the normal hit path).
+		c.hot.memoHits++
+		c.energy -= c.memoNJ
+	}
 	c.dist.AddHit(g)
 	if c.probe != nil {
 		c.probe.Emit(obs.Hit(now, g, done-now))
@@ -485,11 +558,27 @@ func (c *Cache) accessHit(now int64, set, way int, write bool) memsys.AccessResu
 		if g > 0 && fm.hits >= c.trigger {
 			c.moveBlock(now, set, way, gid, g, 0)
 		}
+	case PredictiveBypass:
+		if predDead {
+			// Bypass: no movement, and the screen counter restarts so a
+			// prediction flip cannot mass-promote blocks that quietly
+			// saturated their counters while bypassed.
+			fm.hits = 0
+			c.hot.bypasses++
+			if c.probe != nil {
+				c.probe.Emit(obs.Bypass(now, g))
+			}
+		} else if g > 0 && fm.hits >= c.trigger {
+			c.moveBlock(now, set, way, gid, g, g-1)
+		}
+	}
+	if c.memoWay != nil {
+		c.memoTag[set], c.memoWay[set] = tag, int32(way)
 	}
 	return memsys.AccessResult{Hit: true, DoneAt: done, Group: g}
 }
 
-func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.AccessResult {
+func (c *Cache) accessMiss(now int64, addr uint64, set int, tag uint64, write, predDead bool) memsys.AccessResult {
 	// The miss is discovered in the tag array after the tag latency; the
 	// pipelined port frees after the issue interval. The fill write and
 	// the writeback victim read happen when memory responds, generally
@@ -529,8 +618,17 @@ func (c *Cache) accessMiss(now int64, addr uint64, set int, write bool) memsys.A
 		line.Dirty = true
 	}
 	// Distance placement: the new block goes to the fastest d-group,
-	// demotions rippling outward until the freed frame absorbs them.
-	c.place(now, int32(set), int8(way), 0)
+	// demotions rippling outward until the freed frame absorbs them —
+	// unless the predictor flags it dead on arrival, in which case it
+	// installs straight into the slowest d-group with room.
+	if c.cfg.Distance == DeadOnArrival && predDead {
+		c.placeDead(now, int32(set), int8(way))
+	} else {
+		c.place(now, int32(set), int8(way), 0)
+	}
+	if c.memoWay != nil {
+		c.memoTag[set], c.memoWay[set] = tag, int32(way)
+	}
 	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
 }
 
@@ -597,6 +695,32 @@ func (c *Cache) place(now int64, set int32, way int8, g int) {
 	}
 }
 
+// placeDead installs a predicted-dead fill directly into the slowest
+// d-group with a free frame in the block's partition (scanning slowest
+// to fastest), skipping the demotion ripple entirely. The conservation
+// argument guarantees a free frame exists: each partition holds exactly
+// as many frames as the sets mapping to it hold blocks, and the data
+// replacement preceding this fill freed one when the partition was full.
+func (c *Cache) placeDead(now int64, set int32, way int8) {
+	p := c.partition(set)
+	for g := c.nGroups - 1; g >= 0; g-- {
+		h := g*c.nParts + p
+		f := c.store.takeFree(h)
+		if f == nilFrame {
+			continue
+		}
+		c.store.occupy(f, h, set, way)
+		c.tags.Line(int(set), int(way)).Aux = int64(f) + 1
+		c.chargeAccess(g) // fill write, off the port's critical path
+		c.hot.deadFills++
+		if c.probe != nil {
+			c.probe.Emit(obs.Place(now, g, 0))
+		}
+		return
+	}
+	panic("nurapid: dead-on-arrival fill found no free frame in its partition")
+}
+
 // Distribution implements memsys.LowerLevel.
 func (c *Cache) Distribution() *stats.Distribution { return c.dist }
 
@@ -619,6 +743,9 @@ func (c *Cache) Counters() *stats.Counters {
 	setIfNonZero("writebacks", c.hot.writebacks)
 	setIfNonZero("promotions", c.hot.promotions)
 	setIfNonZero("demotions", c.hot.demotions)
+	setIfNonZero("bypasses", c.hot.bypasses)
+	setIfNonZero("dead_fills", c.hot.deadFills)
+	setIfNonZero("memo_hits", c.hot.memoHits)
 	c.ctrs.Set("port_wait_cycles", c.port.WaitCycles)
 	c.ctrs.Set("port_conflicts", c.port.Conflicts)
 	c.ctrs.Set("port_busy_cycles", c.port.BusyCycles)
@@ -633,6 +760,9 @@ func (c *Cache) Snapshot() []stats.KV {
 		{Name: "tag_latency_cycles", Value: float64(c.tagLat)},
 		{Name: "tag_access_nj", Value: c.tagNJ},
 		{Name: "energy_nj", Value: c.energy},
+	}
+	if c.cfg.Memoize {
+		out = append(out, stats.KV{Name: "memo_saved_nj", Value: c.memoNJ * float64(c.hot.memoHits)})
 	}
 	out = append(out, c.Counters().Snapshot()...)
 	for g, n := range c.GroupAccesses() {

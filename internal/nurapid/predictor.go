@@ -1,0 +1,147 @@
+package nurapid
+
+// This file is the sampled reuse-distance / dead-block predictor behind
+// the PredictiveBypass promotion policy and the DeadOnArrival distance
+// policy (ROADMAP item 4, after Wang et al.'s reuse-distance copy-backs
+// and the dead-block sampling literature).
+//
+// A small fraction of the tag sets (one in predSampleStride) carries
+// shadow tags: an assoc-deep recency-stamped table of recently filled
+// block keys. When a shadow entry is evicted without ever having been
+// re-referenced, the block behind it was dead on arrival — its signature
+// trains toward "dead" in a table of 2-bit saturating counters. When a
+// shadow entry *is* re-referenced, its signature trains back toward
+// "live". Non-sampled sets pay nothing and consult only the table.
+//
+// The memory system models no program counters (memsys.Req carries only
+// an address), so the signature hashes the block's 64-block region
+// instead of a PC: a streaming scan trains its whole footprint through
+// the sampled sets the way a PC-indexed table would through the single
+// load instruction driving the scan, while a small hot region trains
+// "live" independently. This is the documented deviation from the
+// per-PC tables of the source papers.
+//
+// Everything is deterministic (pure function of the access stream) and
+// allocation-free after construction; internal/refmodel transcribes the
+// same contract in its readable style and the differential harness
+// compares the two bit-for-bit.
+
+const (
+	// predTableEntries is the signature table size; predSigBits addresses
+	// it exactly, so predictDead never masks.
+	predTableEntries = 1024
+	predSigBits      = 10
+
+	// predDeadAt is the counter threshold for a "dead" prediction and
+	// predCounterMax the 2-bit saturation ceiling.
+	predDeadAt     = 2
+	predCounterMax = 3
+
+	// predSampleStride selects the sampled sets: every set whose index is
+	// a multiple of the stride carries shadow tags.
+	predSampleStride = 16
+
+	// predRegionShift folds predRegionBlocks consecutive blocks into one
+	// signature (the PC surrogate discussed above).
+	predRegionShift = 6
+
+	// predHashMult is the 64-bit Fibonacci hashing constant; the top
+	// predSigBits bits of the product index the table.
+	predHashMult = 0x9E3779B97F4A7C15
+)
+
+// predSig maps a block key (block address) to its signature-table index.
+//
+//nurapid:hotpath
+func predSig(key uint64) uint32 {
+	return uint32(((key >> predRegionShift) * predHashMult) >> (64 - predSigBits))
+}
+
+// predictor is the flat, allocation-free implementation. The shadow
+// entries of all sampled sets live in four parallel slices indexed
+//
+//	row = set/predSampleStride, entry = row*assoc + i
+//
+// and the recency stamps come from one global tick so victim selection
+// is a min-scan with no per-set state.
+type predictor struct {
+	table []uint8 // 2-bit saturating dead counters, indexed by predSig
+
+	shadowKey   []uint64
+	shadowStamp []uint64
+	shadowValid []bool
+	shadowRefd  []bool
+
+	assoc int
+	tick  uint64
+}
+
+func newPredictor(numSets, assoc int) *predictor {
+	rows := (numSets + predSampleStride - 1) / predSampleStride
+	n := rows * assoc
+	return &predictor{
+		table:       make([]uint8, predTableEntries),
+		shadowKey:   make([]uint64, n),
+		shadowStamp: make([]uint64, n),
+		shadowValid: make([]bool, n),
+		shadowRefd:  make([]bool, n),
+		assoc:       assoc,
+	}
+}
+
+// predictDead reports whether the block behind key is predicted dead on
+// arrival / streaming. Callers consult it before observe so the
+// prediction never sees the access it is predicting.
+//
+//nurapid:hotpath
+func (p *predictor) predictDead(key uint64) bool {
+	return p.table[predSig(key)] >= predDeadAt
+}
+
+// observe feeds one access into the sampled shadow tags. Non-sampled
+// sets return immediately. In a sampled set, the first re-reference of a
+// shadowed key trains its signature "live"; installing over a
+// never-referenced victim trains the victim's signature "dead".
+//
+//nurapid:hotpath
+func (p *predictor) observe(set int, key uint64) {
+	if set%predSampleStride != 0 {
+		return
+	}
+	base := (set / predSampleStride) * p.assoc
+	p.tick++
+	for i := base; i < base+p.assoc; i++ {
+		if p.shadowValid[i] && p.shadowKey[i] == key {
+			if !p.shadowRefd[i] {
+				p.shadowRefd[i] = true
+				s := predSig(key)
+				if p.table[s] > 0 {
+					p.table[s]--
+				}
+			}
+			p.shadowStamp[i] = p.tick
+			return
+		}
+	}
+	// Shadow miss: victim is the first invalid entry, else the LRU stamp.
+	v := base
+	for i := base; i < base+p.assoc; i++ {
+		if !p.shadowValid[i] {
+			v = i
+			break
+		}
+		if p.shadowStamp[i] < p.shadowStamp[v] {
+			v = i
+		}
+	}
+	if p.shadowValid[v] && !p.shadowRefd[v] {
+		s := predSig(p.shadowKey[v])
+		if p.table[s] < predCounterMax {
+			p.table[s]++
+		}
+	}
+	p.shadowKey[v] = key
+	p.shadowStamp[v] = p.tick
+	p.shadowValid[v] = true
+	p.shadowRefd[v] = false
+}

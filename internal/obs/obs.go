@@ -13,9 +13,11 @@
 //
 // Ordering contract: every organization emits the events of one access
 // in the same canonical order — KindAccess first, then either KindHit
-// (with any KindPromote/KindDemote/KindPlace movement events after it)
-// or KindMiss, followed by KindEvict when a valid block was displaced
-// and the KindDemote links and final KindPlace of the fill. In
+// (with any KindPromote/KindDemote/KindPlace movement events after it,
+// or a single KindBypass where a suppressed promotion's movement would
+// have appeared) or KindMiss, followed by KindEvict when a valid block
+// was displaced and the KindDemote links and final KindPlace of the
+// fill. In
 // particular Miss always precedes Evict, and Evict precedes Place
 // within one access. Multi-level organizations (uca.Hierarchy) apply
 // the order per level, with KindMiss reserved for the outermost miss to
@@ -99,6 +101,13 @@ const (
 	// victim core (never the writer), and Now the cycle the write's
 	// shared-level access completed.
 	KindInval
+	// KindBypass fires when the predictive promotion policy suppresses a
+	// hit block's promotion because the reuse-distance predictor flags it
+	// as dead/streaming (nurapid.PredictiveBypass). Group is the d-group
+	// that served the hit and keeps the block. In the canonical order it
+	// follows KindHit where the movement events of a promotion would
+	// otherwise appear.
+	KindBypass
 
 	numKinds
 )
@@ -108,7 +117,7 @@ const (
 // the trace format.
 var kindNames = [numKinds]string{
 	"access", "hit", "miss", "place", "promote", "demote", "evict", "swap",
-	"enqueue", "issue", "inval",
+	"enqueue", "issue", "inval", "bypass",
 }
 
 func (k Kind) String() string {
@@ -253,6 +262,14 @@ func Issue(now int64, bank, core int, wait int64) Event {
 func Inval(now int64, addr uint64, core int) Event {
 	return Event{Kind: KindInval, Now: now, Addr: addr, Core: int16(core),
 		Group: -1, From: -1}
+}
+
+// Bypass builds a KindBypass event: the reuse-distance predictor
+// suppressed the promotion of the hit block, which stays in group.
+//
+//nurapid:hotpath
+func Bypass(now int64, group int) Event {
+	return Event{Kind: KindBypass, Now: now, Group: int16(group), From: -1}
 }
 
 // LatencyProfile is an organization's static timing model, enough for

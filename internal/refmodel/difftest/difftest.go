@@ -512,10 +512,13 @@ type Cell struct {
 // Matrix enumerates the full policy matrix the fuzzer covers: two
 // geometries (2 and 4 d-groups), the three placement variants
 // (unrestricted distance-associative, pointer-restricted, and the
-// set-associative comparison), all three promotion policies, both
-// distance-replacement policies, and two promotion triggers. Geometries
-// use large blocks so the whole cache is a few hundred frames and a few
-// thousand accesses already thrash every structure.
+// set-associative comparison), all four promotion policies (including
+// the predictor-driven bypass), all three distance-replacement policies
+// (including dead-on-arrival placement), and two promotion triggers,
+// plus a memoized variant of a representative cell per geometry and
+// placement. Geometries use large blocks so the whole cache is a few
+// hundred frames and a few thousand accesses already thrash every
+// structure.
 func Matrix() []Cell {
 	type geom struct {
 		name     string
@@ -536,8 +539,12 @@ func Matrix() []Cell {
 		{"r16", nurapid.DistanceAssociative, 16},
 		{"sa", nurapid.SetAssociative, 0},
 	}
-	promos := []nurapid.Promotion{nurapid.DemotionOnly, nurapid.NextFastest, nurapid.Fastest}
-	dists := []nurapid.DistancePolicy{nurapid.RandomDistance, nurapid.LRUDistance}
+	promos := []nurapid.Promotion{
+		nurapid.DemotionOnly, nurapid.NextFastest, nurapid.Fastest, nurapid.PredictiveBypass,
+	}
+	dists := []nurapid.DistancePolicy{
+		nurapid.RandomDistance, nurapid.LRUDistance, nurapid.DeadOnArrival,
+	}
 
 	var cells []Cell
 	for _, g := range geoms {
@@ -567,6 +574,37 @@ func Matrix() []Cell {
 						})
 					}
 				}
+			}
+			// Memoized variants: forward-pointer memoization is energy-only
+			// accounting, so one plain cell and one all-predictor cell per
+			// geometry and placement cover its interaction with every
+			// policy family without doubling the matrix.
+			memoized := []struct {
+				promo nurapid.Promotion
+				dist  nurapid.DistancePolicy
+				ph    int
+			}{
+				{nurapid.NextFastest, nurapid.RandomDistance, 0},
+				{nurapid.PredictiveBypass, nurapid.DeadOnArrival, 3},
+			}
+			for _, mv := range memoized {
+				cfg := nurapid.Config{
+					CapacityBytes:  g.capacity,
+					BlockBytes:     8192,
+					Assoc:          8,
+					NumDGroups:     g.nGroups,
+					Promotion:      mv.promo,
+					Distance:       mv.dist,
+					Placement:      pl.placement,
+					RestrictFrames: pl.restrict,
+					PromoteHits:    mv.ph,
+					Memoize:        true,
+					Seed:           7,
+				}
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("%s-%s-%s-%s-ph%d-memo", g.name, pl.name, mv.promo, mv.dist, mv.ph),
+					Cfg:  cfg,
+				})
 			}
 		}
 	}
@@ -624,6 +662,33 @@ func Workloads() []Workload {
 						Addr:  uint64(tag*geo.NumSets()+set) * uint64(cfg.BlockBytes),
 						Write: rng.Bool(0.2),
 					}
+				}
+				seq[i].Gap = int64(rng.Intn(4))
+			}
+			return seq
+		}},
+		// stream-scan interleaves a wrap-around sequential sweep over a
+		// 2x-cache footprint (blocks that are dead on arrival: each is
+		// touched once per lap) with a small hot set that is re-referenced
+		// constantly — the separation the reuse-distance predictor exists
+		// to learn, so the predictive policies actually fire under it.
+		{"stream-scan", func(cfg nurapid.Config, seed uint64, n int) []Access {
+			geo := cache.Geometry{CapacityBytes: cfg.CapacityBytes, BlockBytes: cfg.BlockBytes, Assoc: cfg.Assoc}
+			rng := mathx.NewRNG(seed)
+			nBlocks := int(cfg.CapacityBytes / int64(cfg.BlockBytes))
+			hot := make([]uint64, 8)
+			for i := range hot {
+				hot[i] = uint64(i*geo.NumSets()) * uint64(cfg.BlockBytes) // all in (sampled) set 0
+			}
+			pos := 0
+			seq := make([]Access, n)
+			for i := range seq {
+				if rng.Bool(0.3) {
+					seq[i] = Access{Addr: hot[rng.Intn(len(hot))], Write: rng.Bool(0.1)}
+				} else {
+					blk := nBlocks + pos%(2*nBlocks) // disjoint from the hot blocks
+					pos++
+					seq[i] = Access{Addr: uint64(blk) * uint64(cfg.BlockBytes), Write: rng.Bool(0.1)}
 				}
 				seq[i].Gap = int64(rng.Intn(4))
 			}

@@ -143,9 +143,14 @@ func TestDiffSharedCatchesFault(t *testing.T) {
 }
 
 // TestMatrixExercisesMachinery guards the fuzzer against silently gentle
-// workloads: across the matrix, evictions, demotions, promotions, and
-// writebacks must all actually occur, or agreement proves nothing.
+// workloads: across the matrix, evictions, demotions, promotions,
+// writebacks, predictor bypasses, dead-on-arrival fills, and memoized
+// probes must all actually occur, or agreement proves nothing.
 func TestMatrixExercisesMachinery(t *testing.T) {
+	machinery := []string{
+		"evictions", "demotions", "promotions", "writebacks",
+		"bypasses", "dead_fills", "memo_hits",
+	}
 	totals := map[string]int64{}
 	for _, cell := range Matrix() {
 		for _, wl := range Workloads() {
@@ -156,12 +161,12 @@ func TestMatrixExercisesMachinery(t *testing.T) {
 				r := c.Access(memsys.Req{Now: now, Addr: a.Addr, Write: a.Write})
 				now = r.DoneAt + a.Gap
 			}
-			for _, name := range []string{"evictions", "demotions", "promotions", "writebacks"} {
+			for _, name := range machinery {
 				totals[name] += c.Counters().Get(name)
 			}
 		}
 	}
-	for _, name := range []string{"evictions", "demotions", "promotions", "writebacks"} {
+	for _, name := range machinery {
 		if totals[name] == 0 {
 			t.Errorf("matrix never produced a single %s event", name)
 		}
@@ -248,6 +253,69 @@ func TestSeededFaultCaughtAndShrunk(t *testing.T) {
 	t.Logf("shrunk reproducer: %d of %d accesses", len(shrunk), len(seq))
 }
 
+// deadOnArrivalFaultCell is a configuration in which
+// FaultDeadOnArrivalInverted is observable: the fault swaps which fills
+// take the dead-on-arrival path, so any fill whose prediction the two
+// sides route differently surfaces immediately as a Place-group (and
+// latency) divergence.
+func deadOnArrivalFaultCell() Cell {
+	return Cell{
+		Name: "fault-4g-da-next-doa-ph3",
+		Cfg: nurapid.Config{
+			CapacityBytes: 4 << 20,
+			BlockBytes:    8192,
+			Assoc:         8,
+			NumDGroups:    4,
+			Promotion:     nurapid.NextFastest,
+			Distance:      nurapid.DeadOnArrival,
+			Placement:     nurapid.DistanceAssociative,
+			PromoteHits:   3,
+			Seed:          7,
+		},
+	}
+}
+
+// TestSeededFaultDeadOnArrivalCaught proves the grown matrix still has a
+// live oracle over the predictor policies: a reference model that sends
+// every fill to the wrong target d-group (inverting the dead-on-arrival
+// decision) must be caught, and the shrinker must reduce the reproducer —
+// the very first fill already diverges, so it shrinks to almost nothing.
+func TestSeededFaultDeadOnArrivalCaught(t *testing.T) {
+	cell := deadOnArrivalFaultCell()
+	var wl Workload
+	for _, w := range Workloads() {
+		if w.Name == "stream-scan" {
+			wl = w
+		}
+	}
+	if wl.Gen == nil {
+		t.Fatal("stream-scan workload missing from Workloads()")
+	}
+	seq := wl.Gen(cell.Cfg, 11, 4000)
+
+	if d := Diff(cell.Cfg, seq, Options{}); d != nil {
+		t.Fatalf("models disagree before any fault was injected: %s", d)
+	}
+	faulty := Options{Fault: refmodel.FaultDeadOnArrivalInverted}
+	d := Diff(cell.Cfg, seq, faulty)
+	if d == nil {
+		t.Fatal("seeded dead-on-arrival fault was not caught: the matrix does not gate the predictor fill path")
+	}
+	t.Logf("seeded fault caught: %s", d)
+
+	shrunk := Shrink(cell.Cfg, seq, faulty)
+	if shrunk == nil {
+		t.Fatal("shrinker lost the divergence")
+	}
+	if len(shrunk) > 4 {
+		t.Fatalf("shrinker left %d accesses; an inverted first fill should reproduce in a handful", len(shrunk))
+	}
+	if d := Diff(cell.Cfg, shrunk, faulty); d == nil {
+		t.Fatal("shrunk sequence does not reproduce the divergence")
+	}
+	t.Logf("shrunk reproducer: %d of %d accesses", len(shrunk), len(seq))
+}
+
 // TestArtifactRoundTrip pins the JSONL artifact format: a dumped
 // divergence can be read back into the same config and access sequence,
 // and the replayed sequence still diverges.
@@ -293,6 +361,15 @@ func TestNewErrorParity(t *testing.T) {
 		func(c *nurapid.Config) { c.Placement = nurapid.Placement(9) },
 		func(c *nurapid.Config) { c.PromoteHits = -1 },
 		func(c *nurapid.Config) { c.PromoteHits = 201 },
+		// Values past the uint8 saturation point must be rejected at New
+		// on both sides, not silently truncated into the hit counter.
+		func(c *nurapid.Config) { c.PromoteHits = 256 },
+		func(c *nurapid.Config) { c.PromoteHits = 1000 },
+		func(c *nurapid.Config) {
+			c.Promotion = nurapid.PredictiveBypass
+			c.Distance = nurapid.DeadOnArrival
+			c.Memoize = true
+		},
 	}
 	m := cacti.Default()
 	for i, mutate := range mutations {

@@ -1,0 +1,120 @@
+package refmodel
+
+// This file is the executable specification of the sampled
+// reuse-distance / dead-block predictor behind nurapid.PredictiveBypass
+// and nurapid.DeadOnArrival. The pinned contract, implemented flat and
+// allocation-free by internal/nurapid/predictor.go and transcribed here
+// onto the simplest possible state:
+//
+//   - signature: the top 10 bits of ((key >> 6) * 0x9E3779B97F4A7C15),
+//     where key is the block address — the 64-block region stands in
+//     for the program counter the memory system does not model;
+//   - table: 1024 two-bit saturating counters, initialized to zero;
+//     predictDead(key) reports counter(sig(key)) >= 2;
+//   - sampled sets: every set whose index is a multiple of 16 keeps
+//     Assoc shadow entries of {key, recency stamp, referenced flag};
+//   - observe in a sampled set: re-finding a shadowed key refreshes its
+//     stamp, and its first re-reference trains the signature live
+//     (decrement). A shadow miss installs over an empty entry, else
+//     over the least recently stamped one; evicting an entry that was
+//     never re-referenced trains its signature dead (increment);
+//   - predict before observe on every access, so a prediction never
+//     sees the access it is predicting.
+
+const (
+	refPredTableEntries = 1024
+	refPredDeadAt       = 2
+	refPredCounterMax   = 3
+	refPredSampleStride = 16
+	refPredRegionShift  = 6
+	refPredHashMult     = 0x9E3779B97F4A7C15
+)
+
+// refPredSig maps a block address to its signature-table index: the top
+// 10 bits (log2 of the table size) of the hashed 64-block region.
+func refPredSig(key uint64) int {
+	return int(((key >> refPredRegionShift) * refPredHashMult) >> 54)
+}
+
+// shadowEntry is one shadow tag of a sampled set.
+type shadowEntry struct {
+	key        uint64
+	stamp      uint64
+	referenced bool
+}
+
+// refPredictor is the reference predictor. Shadow sets live in a map
+// and grow up to assoc entries; the recency stamps come from one global
+// tick, mirroring the fast implementation's flat arrays.
+type refPredictor struct {
+	counters []uint8
+	shadow   map[int][]*shadowEntry
+	assoc    int
+	tick     uint64
+}
+
+func newRefPredictor(assoc int) *refPredictor {
+	return &refPredictor{
+		counters: make([]uint8, refPredTableEntries),
+		shadow:   make(map[int][]*shadowEntry),
+		assoc:    assoc,
+	}
+}
+
+// predictDead reports whether the block behind key is predicted dead on
+// arrival / streaming.
+func (p *refPredictor) predictDead(key uint64) bool {
+	return p.counters[refPredSig(key)] >= refPredDeadAt
+}
+
+// observe feeds one access into the sampled shadow tags; non-sampled
+// sets are ignored entirely.
+func (p *refPredictor) observe(set int, key uint64) {
+	if set%refPredSampleStride != 0 {
+		return
+	}
+	p.tick++
+	entries := p.shadow[set]
+	for _, e := range entries {
+		if e.key == key {
+			if !e.referenced {
+				e.referenced = true
+				p.trainLive(key)
+			}
+			e.stamp = p.tick
+			return
+		}
+	}
+	if len(entries) < p.assoc {
+		p.shadow[set] = append(entries, &shadowEntry{key: key, stamp: p.tick})
+		return
+	}
+	// Stamps are unique (one global tick), so the LRU victim is
+	// well-defined and matches the fast implementation's min-scan.
+	victim := entries[0]
+	for _, e := range entries[1:] {
+		if e.stamp < victim.stamp {
+			victim = e
+		}
+	}
+	if !victim.referenced {
+		p.trainDead(victim.key)
+	}
+	*victim = shadowEntry{key: key, stamp: p.tick}
+}
+
+// trainLive saturating-decrements key's signature counter toward the
+// "live" end.
+func (p *refPredictor) trainLive(key uint64) {
+	if s := refPredSig(key); p.counters[s] > 0 {
+		p.counters[s]--
+	}
+}
+
+// trainDead saturating-increments key's signature counter toward the
+// "dead" end.
+func (p *refPredictor) trainDead(key uint64) {
+	if s := refPredSig(key); p.counters[s] < refPredCounterMax {
+		p.counters[s]++
+	}
+}

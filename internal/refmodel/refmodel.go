@@ -73,6 +73,12 @@ const (
 	// the block keeps its stale hit count, so with a promotion trigger
 	// above 1 it is promoted too early after a demotion.
 	FaultSkipDemoteHitsReset
+	// FaultDeadOnArrivalInverted models wiring the dead-on-arrival
+	// routing backwards: under nurapid.DeadOnArrival, predicted-dead
+	// fills take the normal fastest-group demotion ripple and
+	// predicted-live fills install into the slowest free frame — i.e.
+	// every fill lands in the wrong target d-group.
+	FaultDeadOnArrivalInverted
 )
 
 // block is everything the specification knows about one resident block.
@@ -104,10 +110,16 @@ type Cache struct {
 	accessNJ []float64 // energy per data-array access per d-group
 	tagLat   int64
 	tagNJ    float64
+	memoNJ   float64 // energy credited back per memoized (probe-free) hit
 
 	blocks map[uint64]*block // resident blocks by block address
 	frames [][]*block        // frames[g][f]: occupant of frame f in d-group g, nil when free
 	free   [][][]int32       // free[g][p]: LIFO stack of free frame ids, top at index 0
+
+	// pred is non-nil iff a predictive policy is configured; memo maps a
+	// set to the block key of its most recent access (Memoize only).
+	pred *refPredictor
+	memo map[int]uint64
 
 	framesPerGroup int
 	nParts         int
@@ -173,7 +185,9 @@ func New(cfg nurapid.Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error)
 		return nil, fmt.Errorf("refmodel: unknown placement %v", cfg.Placement)
 	}
 	if cfg.PromoteHits < 0 || cfg.PromoteHits > 200 {
-		return nil, fmt.Errorf("refmodel: promotion trigger %d out of range", cfg.PromoteHits)
+		// Mirrors nurapid.New: the hardware hit counter is 8 bits and
+		// saturates at 255, so larger screens are unrepresentable.
+		return nil, fmt.Errorf("refmodel: promotion trigger %d outside [0, 200] (the per-frame hit counter saturates at 255 and cannot represent larger screens)", cfg.PromoteHits)
 	}
 
 	plan := floorplan.NewLShapedPlan(totalMB, cfg.NumDGroups)
@@ -186,7 +200,8 @@ func New(cfg nurapid.Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error)
 		latency:        make([]int64, cfg.NumDGroups),
 		accessNJ:       append([]float64(nil), energies...),
 		tagLat:         int64(m.TagCycles),
-		tagNJ:          0.05,
+		tagNJ:          m.TagProbeNJ,
+		memoNJ:         m.TagProbeNJ,
 		blocks:         make(map[uint64]*block),
 		frames:         make([][]*block, cfg.NumDGroups),
 		free:           make([][][]int32, cfg.NumDGroups),
@@ -214,6 +229,12 @@ func New(cfg nurapid.Config, m *cacti.Model, mem *memsys.Memory) (*Cache, error)
 		}
 	}
 	c.dist = stats.NewDistribution(labels...)
+	if cfg.Promotion == nurapid.PredictiveBypass || cfg.Distance == nurapid.DeadOnArrival {
+		c.pred = newRefPredictor(cfg.Assoc)
+	}
+	if cfg.Memoize {
+		c.memo = make(map[int]uint64)
+	}
 	return c, nil
 }
 
@@ -281,17 +302,37 @@ func (c *Cache) Access(req memsys.Req) memsys.AccessResult {
 	if c.probe != nil {
 		c.probe.Emit(obs.Access(now, addr, write, req.Core))
 	}
-	if b, ok := c.blocks[c.geo.BlockAddr(addr)]; ok {
-		return c.hit(now, b, write)
+	key := c.geo.BlockAddr(addr)
+	// Predict before observe: the prediction for this access must not
+	// see the access itself, or sampled and non-sampled sets would apply
+	// different policies to identical streams.
+	predictedDead := false
+	if c.pred != nil {
+		predictedDead = c.pred.predictDead(key)
+		c.pred.observe(c.geo.SetIndex(addr), key)
 	}
-	return c.miss(now, addr, write)
+	if b, ok := c.blocks[key]; ok {
+		return c.hit(now, b, write, predictedDead)
+	}
+	return c.miss(now, addr, write, predictedDead)
 }
 
 // hit serves a resident block: refresh both recency orders, bump the
 // saturating hit counter, charge the serving d-group, and apply the
 // promotion policy. The result reports the d-group that served the hit,
 // even when the block is promoted away in the same access.
-func (c *Cache) hit(now int64, b *block, write bool) memsys.AccessResult {
+func (c *Cache) hit(now int64, b *block, write, predictedDead bool) memsys.AccessResult {
+	// Way memoization: a repeat access to the set's most recent block
+	// skips the sequential tag probe and earns the probe energy back. A
+	// memo entry is never stale — promotion, demotion, and swaps move
+	// data frames but leave the block's tag way untouched, and evicting
+	// the memoized block requires a miss in this set, which re-points
+	// the memo at the incoming block.
+	memoized := false
+	if c.cfg.Memoize {
+		last, ok := c.memo[int(b.set)]
+		memoized = ok && last == b.key
+	}
 	b.setStamp = c.nextTick() // a demand use, for set-LRU eviction
 	if write {
 		b.dirty = true
@@ -305,6 +346,10 @@ func (c *Cache) hit(now int64, b *block, write bool) memsys.AccessResult {
 	start := c.port.Acquire(now, accessIssueInterval)
 	done := start + c.latency[g]
 	c.chargeAccess(g)
+	if memoized {
+		c.ctrs.Inc("memo_hits")
+		c.energy -= c.memoNJ
+	}
 	c.dist.AddHit(g)
 	if c.probe != nil {
 		c.probe.Emit(obs.Hit(now, g, done-now))
@@ -325,6 +370,26 @@ func (c *Cache) hit(now int64, b *block, write bool) memsys.AccessResult {
 		if g > 0 && b.hits >= trigger {
 			c.promote(now, b, 0)
 		}
+	case nurapid.PredictiveBypass:
+		if predictedDead {
+			// Promotion bypass, with the saturating-counter interaction
+			// pinned: a bypassed hit RESETS the block's hit counter to
+			// zero rather than letting it keep saturating, so a block
+			// whose prediction later flips back to live must earn a full
+			// PromoteHits screen of fresh hits before promoting — it can
+			// never mass-promote off a counter that quietly saturated at
+			// 255 while every hit was being bypassed.
+			b.hits = 0
+			c.ctrs.Inc("bypasses")
+			if c.probe != nil {
+				c.probe.Emit(obs.Bypass(now, g))
+			}
+		} else if g > 0 && b.hits >= trigger {
+			c.promote(now, b, g-1)
+		}
+	}
+	if c.cfg.Memoize {
+		c.memo[int(b.set)] = b.key
 	}
 	return memsys.AccessResult{Hit: true, DoneAt: done, Group: g}
 }
@@ -334,7 +399,7 @@ func (c *Cache) hit(now int64, b *block, write bool) memsys.AccessResult {
 // frame in whatever d-group held it, and the new block is placed in the
 // fastest d-group, demotions rippling outward until a free frame — at the
 // latest the victim's — absorbs the chain.
-func (c *Cache) miss(now int64, addr uint64, write bool) memsys.AccessResult {
+func (c *Cache) miss(now int64, addr uint64, write, predictedDead bool) memsys.AccessResult {
 	start := c.port.Acquire(now, accessIssueInterval)
 	c.energy += c.tagNJ
 	c.dist.AddMiss()
@@ -363,7 +428,18 @@ func (c *Cache) miss(now int64, addr uint64, write bool) memsys.AccessResult {
 	b := &block{key: c.geo.BlockAddr(addr), set: int32(set), dirty: write}
 	b.setStamp = c.nextTick()
 	c.blocks[b.key] = b
-	c.place(now, b, 0)
+	dead := predictedDead
+	if c.fault == FaultDeadOnArrivalInverted {
+		dead = !dead
+	}
+	if c.cfg.Distance == nurapid.DeadOnArrival && dead {
+		c.placeDead(now, b)
+	} else {
+		c.place(now, b, 0)
+	}
+	if c.cfg.Memoize {
+		c.memo[set] = b.key
+	}
 	return memsys.AccessResult{Hit: false, DoneAt: done, Group: -1}
 }
 
@@ -448,6 +524,33 @@ func (c *Cache) place(now int64, b *block, g int) {
 	}
 }
 
+// placeDead installs a predicted-dead fill directly into the slowest
+// d-group whose partition has a free frame, scanning slowest to fastest
+// — no demotion ripple. Conservation of frames guarantees the scan
+// succeeds: each partition holds exactly as many frames as the sets
+// mapping to it hold blocks, so the data replacement preceding this
+// fill freed a frame when the partition was full.
+func (c *Cache) placeDead(now int64, b *block) {
+	p := c.partition(int(b.set))
+	for g := c.cfg.NumDGroups - 1; g >= 0; g-- {
+		f, ok := c.takeFree(g, p)
+		if !ok {
+			continue
+		}
+		c.frames[g][f] = b
+		b.group, b.frame = g, f
+		b.hits = 0
+		b.distStamp = c.nextTick()
+		c.chargeAccess(g) // fill write
+		c.ctrs.Inc("dead_fills")
+		if c.probe != nil {
+			c.probe.Emit(obs.Place(now, g, 0))
+		}
+		return
+	}
+	panic("refmodel: dead-on-arrival fill found no free frame in its partition")
+}
+
 // takeFree pops the top of a partition's free stack (the pinned LIFO
 // discipline), reporting false when the partition is full.
 func (c *Cache) takeFree(g, p int) (int32, bool) {
@@ -514,6 +617,9 @@ func (c *Cache) Snapshot() []stats.KV {
 		{Name: "tag_latency_cycles", Value: float64(c.tagLat)},
 		{Name: "tag_access_nj", Value: c.tagNJ},
 		{Name: "energy_nj", Value: c.energy},
+	}
+	if c.cfg.Memoize {
+		out = append(out, stats.KV{Name: "memo_saved_nj", Value: c.memoNJ * float64(c.ctrs.Get("memo_hits"))})
 	}
 	out = append(out, c.Counters().Snapshot()...)
 	for g, n := range c.GroupAccesses() {

@@ -73,7 +73,7 @@ func checkCanonicalOrder(t *testing.T, org string, events []obs.Event, inner fun
 				}
 				outcome = i
 				sawHit = sawHit || e.Kind == obs.KindHit
-			case obs.KindEvict, obs.KindPlace, obs.KindPromote, obs.KindDemote, obs.KindSwap:
+			case obs.KindEvict, obs.KindPlace, obs.KindPromote, obs.KindDemote, obs.KindSwap, obs.KindBypass:
 				if inner(e.Group) && e.Kind != obs.KindSwap {
 					continue // inner-level allocation precedes the outer outcome
 				}
@@ -135,6 +135,25 @@ func TestEventOrderCanonical(t *testing.T) {
 			t.Fatal("workload too gentle: no evictions or demotions")
 		}
 		checkCanonicalOrder(t, "nurapid", rec.events, func(int16) bool { return false })
+	})
+
+	t.Run("nurapid-predictive", func(t *testing.T) {
+		cfg := nurapid.DefaultConfig()
+		cfg.CapacityBytes = 2 << 20
+		cfg.NumDGroups = 2
+		cfg.RestrictFrames = 4
+		cfg.Promotion = nurapid.PredictiveBypass
+		cfg.Distance = nurapid.DeadOnArrival
+		cfg.Memoize = true
+		mem := memsys.NewMemory(cfg.BlockBytes)
+		c := nurapid.MustNew(cfg, m, mem)
+		rec := &eventRecorder{}
+		c.SetProbe(rec)
+		driveConflictHeavy(c, 2048, cfg.BlockBytes, 40, 4000)
+		if c.Counters().Get("bypasses") == 0 || c.Counters().Get("dead_fills") == 0 {
+			t.Fatal("workload too gentle: the predictor never bypassed a promotion or redirected a fill")
+		}
+		checkCanonicalOrder(t, "nurapid-predictive", rec.events, func(int16) bool { return false })
 	})
 
 	t.Run("uniform", func(t *testing.T) {

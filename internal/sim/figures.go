@@ -528,6 +528,7 @@ func (r *Runner) ByID(id string) (*Experiment, error) {
 		"fig4": r.Fig4, "fig5": r.Fig5, "fig6": r.Fig6, "lru": r.LRUStudy,
 		"fig7": r.Fig7, "fig8": r.Fig8, "fig9": r.Fig9, "fig10": r.Fig10, "fig11": r.Fig11,
 		"ablation":       r.Ablation,
+		"predictor":      r.PredictorStudy,
 		"sweep-capacity": r.CapacitySweep,
 		"sweep-block":    r.BlockSweep,
 		"sweep-tech":     r.TechSweep,
@@ -535,7 +536,7 @@ func (r *Runner) ByID(id string) (*Experiment, error) {
 	}
 	d, ok := drivers[id]
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown experiment %q (valid: table1-table4, fig4-fig11, lru, ablation, all)", id)
+		return nil, fmt.Errorf("sim: unknown experiment %q (valid: table1-table4, fig4-fig11, lru, ablation, predictor, sweep-*, cmp, all)", id)
 	}
 	return d(), nil
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+
+	"nurapid/internal/nurapid"
+	"nurapid/internal/stats"
+	"nurapid/internal/workload"
+)
+
+// PredictorStudy ablates the reuse-distance predictor family against the
+// paper's NuRAPID configuration (4 d-groups, next-fastest promotion,
+// random distance replacement):
+//
+//   - predictive bypass: a sampled dead-block predictor suppresses the
+//     promotion trigger for blocks it classifies as streaming, keeping
+//     single-use data from displacing hot blocks in the fast d-group;
+//   - dead-on-arrival fills: predicted-dead misses install directly into
+//     the slowest d-group instead of the fastest;
+//   - memoized forward pointers: repeat accesses to a set's most recent
+//     block skip the centralized tag probe and credit its energy back.
+//
+// The roster is the paper's 15 applications plus the synthetic streaming
+// application (workload.Streaming), which supplies the access pattern the
+// predictor is built for. Each row reports average relative performance
+// (vs. the base L2/L3), average fastest-d-group access fraction, L2
+// dynamic energy, and the predictor's own activity counters.
+func (r *Runner) PredictorStudy() *Experiment {
+	type variant struct {
+		label string
+		org   Organization
+	}
+	mk := func(label string, mutate func(*nurapid.Config)) variant {
+		cfg := nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return variant{label: label, org: NuRAPID(cfg)}
+	}
+	variants := []variant{
+		mk("nurapid baseline (paper)", nil),
+		mk("predictive bypass", func(c *nurapid.Config) {
+			c.Promotion = nurapid.PredictiveBypass
+		}),
+		mk("dead-on-arrival fills", func(c *nurapid.Config) {
+			c.Distance = nurapid.DeadOnArrival
+		}),
+		mk("bypass + dead-on-arrival", func(c *nurapid.Config) {
+			c.Promotion = nurapid.PredictiveBypass
+			c.Distance = nurapid.DeadOnArrival
+		}),
+		mk("memoized pointers", func(c *nurapid.Config) {
+			c.Memoize = true
+		}),
+		mk("all predictor features", func(c *nurapid.Config) {
+			c.Promotion = nurapid.PredictiveBypass
+			c.Distance = nurapid.DeadOnArrival
+			c.Memoize = true
+		}),
+	}
+	apps := append(append([]workload.App(nil), r.Apps...), workload.Streaming())
+	prefetch := []Organization{Base()}
+	for _, v := range variants {
+		prefetch = append(prefetch, v.org)
+	}
+	r.Prefetch(apps, prefetch)
+
+	t := stats.NewTable("Predictor family: placement/promotion ablations (averages over all applications + stream)",
+		"variant", "rel perf", "g1 accesses", "L2 energy (nJ/1k instr)", "bypasses", "dead fills", "memo hits")
+	metrics := map[string]float64{}
+	for _, v := range variants {
+		var rel, g1, enj []float64
+		var bypasses, deadFills, memoHits int64
+		for _, app := range apps {
+			rel = append(rel, r.RelPerf(app, v.org))
+			res := r.Run(app, v.org)
+			g1 = append(g1, res.L2Dist.HitFrac(0))
+			enj = append(enj, res.L2EnergyNJ*1000/float64(res.CPU.Instructions))
+			bypasses += res.L2Ctrs.Get("bypasses")
+			deadFills += res.L2Ctrs.Get("dead_fills")
+			memoHits += res.L2Ctrs.Get("memo_hits")
+		}
+		t.AddRow(v.label, mean(rel), stats.Percent(mean(g1)), mean(enj),
+			fmt.Sprintf("%d", bypasses), fmt.Sprintf("%d", deadFills), fmt.Sprintf("%d", memoHits))
+		slug := slugify(v.label)
+		metrics["rel_"+slug] = mean(rel)
+		metrics["g1_"+slug] = mean(g1)
+		metrics["energy_"+slug] = mean(enj)
+	}
+	return &Experiment{ID: "predictor", Caption: "Reuse-distance predictor ablations", Table: t, Metrics: metrics}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nurapid/internal/nurapid"
+)
+
+func TestPredictorStudyExperiment(t *testing.T) {
+	r := smallRunner(t)
+	e := r.PredictorStudy()
+	if e.ID != "predictor" {
+		t.Fatalf("id = %q", e.ID)
+	}
+	if e.Table.NumRows() != 6 {
+		t.Fatalf("rows = %d, want 6 variants", e.Table.NumRows())
+	}
+	for _, k := range []string{
+		"rel_nurapid_baseline_paper",
+		"rel_predictive_bypass",
+		"rel_dead_on_arrival_fills",
+		"rel_bypass_dead_on_arrival",
+		"rel_memoized_pointers",
+		"rel_all_predictor_features",
+		"energy_all_predictor_features",
+	} {
+		if _, ok := e.Metrics[k]; !ok {
+			t.Fatalf("metric %q missing; have %v", k, keys(e.Metrics))
+		}
+	}
+	// Memoization skips tag probes and credits their energy back without
+	// touching timing: same performance as the baseline, less L2 energy.
+	if e.Metrics["rel_memoized_pointers"] != e.Metrics["rel_nurapid_baseline_paper"] {
+		t.Fatal("memoization changed performance; it must be energy-only")
+	}
+	if e.Metrics["energy_memoized_pointers"] >= e.Metrics["energy_nurapid_baseline_paper"] {
+		t.Fatal("memoization must reduce L2 energy per instruction")
+	}
+}
+
+func TestPredictorStudyViaByID(t *testing.T) {
+	r := smallRunner(t)
+	e, err := r.ByID("predictor")
+	if err != nil || e.ID != "predictor" {
+		t.Fatalf("ByID(predictor): %v %v", e, err)
+	}
+}
+
+// TestNuRAPIDKeyMemoSuffix pins the organization key: a memoized
+// configuration must not collide with (and silently share the memoized
+// result of) its unmemoized twin in the runner's singleflight cache.
+func TestNuRAPIDKeyMemoSuffix(t *testing.T) {
+	cfg := nurapidCfg(4, nurapid.NextFastest, nurapid.RandomDistance)
+	plain := NuRAPID(cfg).Key
+	cfg.Memoize = true
+	memo := NuRAPID(cfg).Key
+	if plain == memo {
+		t.Fatalf("memoized key %q collides with the plain key", memo)
+	}
+	if !strings.HasSuffix(memo, "-memo") {
+		t.Fatalf("memoized key = %q, want -memo suffix", memo)
+	}
+}

@@ -71,6 +71,9 @@ func NuRAPID(cfg nurapid.Config) Organization {
 	if cfg.PromoteHits > 1 {
 		key += fmt.Sprintf("-t%d", cfg.PromoteHits)
 	}
+	if cfg.Memoize {
+		key += "-memo"
+	}
 	if cfg.BlockBytes != 128 {
 		key += fmt.Sprintf("-b%d", cfg.BlockBytes)
 	}

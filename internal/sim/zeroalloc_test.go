@@ -20,6 +20,10 @@ func zeroAllocOrgs() []Organization {
 	dnucaEnergy.Policy = nuca.SSEnergy
 	nrLRU := nurapid.DefaultConfig()
 	nrLRU.Distance = nurapid.LRUDistance
+	nrPred := nurapid.DefaultConfig()
+	nrPred.Promotion = nurapid.PredictiveBypass
+	nrPred.Distance = nurapid.DeadOnArrival
+	nrPred.Memoize = true
 	return []Organization{
 		Base(),
 		Ideal(),
@@ -27,6 +31,7 @@ func zeroAllocOrgs() []Organization {
 		DNUCA(dnucaEnergy),
 		NuRAPID(nurapid.DefaultConfig()),
 		NuRAPID(nrLRU),
+		NuRAPID(nrPred),
 	}
 }
 
